@@ -1,0 +1,80 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.  Run:
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scale knobs (environment):
+
+* ``REPRO_BENCH_N``        — system size (default 500; paper: 10 000)
+* ``REPRO_BENCH_MESSAGES`` — messages per measurement batch (default 100;
+  paper: 1 000 for Figure 2)
+* ``REPRO_BENCH_PAPER=1``  — exact paper scale (hours of CPU)
+* ``REPRO_BENCH_SEED``     — root seed (default 42)
+
+Every benchmark prints the rows/series the paper reports and appends the
+same text to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote
+it verbatim.  Overlay construction + stabilisation is cached per protocol
+for the whole session; experiments run on clones.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.failures import stabilized_scenario
+from repro.experiments.params import ExperimentParams, bench_message_count, bench_params
+from repro.experiments.scenario import Scenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def params() -> ExperimentParams:
+    return bench_params()
+
+
+@pytest.fixture(scope="session")
+def message_count() -> int:
+    return bench_message_count()
+
+
+class ScenarioCache:
+    """Session cache: stabilise each protocol once, clone per experiment."""
+
+    def __init__(self, params: ExperimentParams) -> None:
+        self._params = params
+        self._cache: dict[str, Scenario] = {}
+
+    def base(self, protocol: str) -> Scenario:
+        if protocol not in self._cache:
+            self._cache[protocol] = stabilized_scenario(protocol, self._params)
+        return self._cache[protocol]
+
+    def fork(self, protocol: str) -> Scenario:
+        return self.base(protocol).clone()
+
+
+@pytest.fixture(scope="session")
+def cache(params: ExperimentParams) -> ScenarioCache:
+    return ScenarioCache(params)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        block = f"\n===== {name} =====\n{text}\n"
+        print(block)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

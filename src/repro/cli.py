@@ -1,0 +1,331 @@
+"""Command-line interface: run any of the paper's experiments directly.
+
+Examples::
+
+    python -m repro quickstart --n 200
+    python -m repro figure 2 --n 500 --messages 100
+    python -m repro figure table1
+    python -m repro healing --n 300 --failures 0.5 0.8
+    python -m repro ablation passive --n 300
+    python -m repro compare --n 300 --failures 0.3 0.6 0.8
+
+Every command prints the same plain-text reports the benchmark harness
+writes to ``benchmarks/results/``; scale and seed are flags, so the full
+paper-scale run is ``--n 10000 --messages 1000 --paper-params``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments.ablations import (
+    default_passive_sizes,
+    run_passive_size_ablation,
+    run_resend_ablation,
+    run_shuffle_ttl_ablation,
+)
+from .experiments.failures import (
+    FIGURE2_FRACTIONS,
+    FIGURE3_FRACTIONS,
+    PAPER_PROTOCOLS,
+    run_failure_experiment,
+    stabilized_scenario,
+)
+from .experiments.fanout import FIGURE1_FANOUTS, hyparview_reference_point, run_fanout_sweep
+from .experiments.graphprops import TABLE1_PROTOCOLS, run_graph_properties
+from .experiments.healing import FIGURE4_PROTOCOLS, run_healing_experiment
+from .experiments.params import ExperimentParams
+from .experiments.reporting import (
+    format_histogram,
+    format_series,
+    format_table,
+    sparkline,
+)
+from .experiments.scenario import Scenario
+
+
+def _params(args: argparse.Namespace) -> ExperimentParams:
+    if getattr(args, "paper_params", False):
+        return ExperimentParams.paper(n=args.n, seed=args.seed)
+    return ExperimentParams.scaled(args.n, seed=args.seed)
+
+
+def _add_scale_flags(parser: argparse.ArgumentParser, default_n: int = 500) -> None:
+    parser.add_argument("--n", type=int, default=default_n, help="system size")
+    parser.add_argument("--seed", type=int, default=42, help="root random seed")
+    parser.add_argument(
+        "--paper-params",
+        action="store_true",
+        help="use the exact Section 5.1 view sizes regardless of --n",
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    params = _params(args)
+    print(f"building a {params.n}-node HyParView overlay (seed {params.seed}) ...")
+    scenario = Scenario("hyparview", params)
+    scenario.build_overlay()
+    scenario.stabilize()
+    summaries = scenario.send_broadcasts(args.messages)
+    snapshot = scenario.snapshot()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["nodes", params.n],
+                ["avg reliability", sum(s.reliability for s in summaries) / len(summaries)],
+                ["max hops", max(s.max_hops for s in summaries)],
+                ["connected", str(snapshot.is_connected())],
+                ["symmetry", snapshot.symmetry_fraction()],
+                ["avg clustering", snapshot.average_clustering()],
+            ],
+            title="quickstart",
+        )
+    )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    params = _params(args)
+    name = args.which
+    if name in ("1a", "1b"):
+        protocol = "cyclon" if name == "1a" else "scamp"
+        points = run_fanout_sweep(protocol, FIGURE1_FANOUTS, params, messages=args.messages)
+        reference = hyparview_reference_point(params, messages=args.messages)
+        rows = [[p.fanout, p.average_reliability, p.atomic_fraction] for p in points]
+        rows.append(["flood", reference.average_reliability, reference.atomic_fraction])
+        print(
+            format_table(
+                ["fanout", "avg reliability", "atomic"],
+                rows,
+                title=f"Figure {name} — {protocol} fanout sweep (n={params.n})",
+            )
+        )
+        return 0
+    if name == "1c":
+        for protocol in ("cyclon", "scamp"):
+            result = run_failure_experiment(protocol, params, 0.5, args.messages)
+            print(f"\n{protocol}: avg={result.average:.3f}  {sparkline(result.series)}")
+            print(format_series(result.series))
+        return 0
+    if name == "2":
+        rows = []
+        for fraction in FIGURE2_FRACTIONS:
+            rows.append([f"{fraction:.0%}"])
+        for protocol in PAPER_PROTOCOLS:
+            base = stabilized_scenario(protocol, params)
+            print(f"  measured {protocol}", file=sys.stderr)
+            for index, fraction in enumerate(FIGURE2_FRACTIONS):
+                result = run_failure_experiment(
+                    protocol, params, fraction, args.messages, base=base
+                )
+                rows[index].append(result.average)
+        print(
+            format_table(
+                ["failure %"] + list(PAPER_PROTOCOLS),
+                rows,
+                title=f"Figure 2 — avg reliability (n={params.n}, {args.messages} msgs)",
+            )
+        )
+        return 0
+    if name == "3":
+        for protocol in PAPER_PROTOCOLS:
+            base = stabilized_scenario(protocol, params)
+            for fraction in FIGURE3_FRACTIONS:
+                result = run_failure_experiment(
+                    protocol, params, fraction, args.messages, base=base
+                )
+                print(
+                    f"{protocol:13s} {fraction:4.0%}  avg={result.average:.3f} "
+                    f"tail={result.tail_average():.3f}  {sparkline(result.series)}"
+                )
+        return 0
+    if name == "5":
+        for protocol in TABLE1_PROTOCOLS:
+            result = run_graph_properties(protocol, params, messages=5)
+            print()
+            print(format_histogram(result.in_degree_histogram, title=f"{protocol}:"))
+        return 0
+    if name == "table1":
+        rows = []
+        for protocol in TABLE1_PROTOCOLS:
+            result = run_graph_properties(protocol, params, messages=args.messages)
+            rows.append(
+                [
+                    protocol,
+                    f"{result.average_clustering:.6f}",
+                    f"{result.path_stats.average:.4f}",
+                    f"{result.max_hops_to_delivery:.1f}",
+                ]
+            )
+        print(
+            format_table(
+                ["protocol", "avg clustering", "avg shortest path", "max hops"],
+                rows,
+                title=f"Table 1 (n={params.n})",
+            )
+        )
+        return 0
+    print(f"unknown figure: {name}", file=sys.stderr)
+    return 2
+
+
+def cmd_healing(args: argparse.Namespace) -> int:
+    params = _params(args)
+    rows = []
+    for protocol in FIGURE4_PROTOCOLS:
+        base = stabilized_scenario(protocol, params)
+        for fraction in args.failures:
+            result = run_healing_experiment(
+                protocol, params, fraction, max_cycles=args.max_cycles, base=base
+            )
+            healed = result.cycles_to_heal
+            rows.append(
+                [
+                    protocol,
+                    f"{fraction:.0%}",
+                    str(healed) if healed is not None else f">{args.max_cycles}",
+                    result.baseline_reliability,
+                ]
+            )
+    print(
+        format_table(
+            ["protocol", "failure %", "cycles to heal", "baseline"],
+            rows,
+            title=f"Figure 4 — healing time (n={params.n})",
+        )
+    )
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    params = _params(args)
+    if args.which == "passive":
+        points = run_passive_size_ablation(
+            params, default_passive_sizes(params.hyparview),
+            failure_fraction=args.failure, messages=args.messages,
+        )
+        print(
+            format_table(
+                ["passive capacity", "avg reliability", "tail", "largest component"],
+                [
+                    [p.passive_capacity, p.average_reliability, p.tail_reliability,
+                     p.largest_component_fraction]
+                    for p in points
+                ],
+                title=f"passive view size ablation ({args.failure:.0%} failures)",
+            )
+        )
+        return 0
+    if args.which == "shuffle-ttl":
+        points = run_shuffle_ttl_ablation(
+            params, (1, 3, 6, 9), failure_fraction=args.failure, messages=args.messages
+        )
+        print(
+            format_table(
+                ["shuffle TTL", "clustering", "passive in-degree CV", "recovery avg"],
+                [
+                    [p.shuffle_ttl, p.average_clustering, p.passive_balance,
+                     p.recovery_average]
+                    for p in points
+                ],
+                title="shuffle TTL ablation",
+            )
+        )
+        return 0
+    if args.which == "resend":
+        points = run_resend_ablation(
+            params, failure_fraction=args.failure, messages=args.messages
+        )
+        print(
+            format_table(
+                ["resend", "avg reliability", "first-10", "payload msgs"],
+                [
+                    [str(p.resend_on_repair), p.average_reliability, p.first10_average,
+                     p.data_transmissions]
+                    for p in points
+                ],
+                title=f"flood resend ablation ({args.failure:.0%} failures)",
+            )
+        )
+        return 0
+    print(f"unknown ablation: {args.which}", file=sys.stderr)
+    return 2
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    params = _params(args)
+    rows = [[f"{fraction:.0%}"] for fraction in args.failures]
+    for protocol in PAPER_PROTOCOLS:
+        base = stabilized_scenario(protocol, params)
+        print(f"  measured {protocol}", file=sys.stderr)
+        for index, fraction in enumerate(args.failures):
+            result = run_failure_experiment(
+                protocol, params, fraction, args.messages, base=base
+            )
+            rows[index].append(result.average)
+    print(
+        format_table(
+            ["failure %"] + list(PAPER_PROTOCOLS),
+            rows,
+            title=f"protocol comparison (n={params.n}, {args.messages} msgs)",
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HyParView (DSN 2007) reproduction — experiments CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="build an overlay, broadcast, report")
+    _add_scale_flags(p, default_n=200)
+    p.add_argument("--messages", type=int, default=10)
+    p.set_defaults(func=cmd_quickstart)
+
+    p = sub.add_parser("figure", help="reproduce a figure/table of the paper")
+    p.add_argument("which", choices=["1a", "1b", "1c", "2", "3", "5", "table1"])
+    _add_scale_flags(p)
+    p.add_argument("--messages", type=int, default=50)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("healing", help="Figure 4 — healing time")
+    _add_scale_flags(p)
+    p.add_argument("--failures", type=float, nargs="+", default=[0.3, 0.6, 0.9])
+    p.add_argument("--max-cycles", type=int, default=30)
+    p.set_defaults(func=cmd_healing)
+
+    p = sub.add_parser("ablation", help="design-choice ablations")
+    p.add_argument("which", choices=["passive", "shuffle-ttl", "resend"])
+    _add_scale_flags(p, default_n=300)
+    p.add_argument("--failure", type=float, default=0.8)
+    p.add_argument("--messages", type=int, default=30)
+    p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser("compare", help="head-to-head reliability comparison")
+    _add_scale_flags(p, default_n=300)
+    p.add_argument("--failures", type=float, nargs="+", default=[0.3, 0.6, 0.8])
+    p.add_argument("--messages", type=int, default=30)
+    p.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""HyParView — the paper's primary contribution."""
+
+from .config import HyParViewConfig
+from .events import ListenerSet, MembershipListener
+from .messages import (
+    Disconnect,
+    ForwardJoin,
+    ForwardJoinReply,
+    Join,
+    Neighbor,
+    NeighborReply,
+    Shuffle,
+    ShuffleReply,
+)
+from .protocol import HyParView, HyParViewStats
+from .views import BoundedView
+
+__all__ = [
+    "BoundedView",
+    "Disconnect",
+    "ForwardJoin",
+    "ForwardJoinReply",
+    "HyParView",
+    "HyParViewConfig",
+    "HyParViewStats",
+    "Join",
+    "ListenerSet",
+    "MembershipListener",
+    "Neighbor",
+    "NeighborReply",
+    "Shuffle",
+    "ShuffleReply",
+]

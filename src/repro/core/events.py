@@ -1,0 +1,51 @@
+"""Membership change notifications.
+
+HyParView exposes *neighbour up / neighbour down* events for the layers
+above it.  The flood broadcast layer reads the active view directly, but
+tree-based dissemination (Plumtree) and applications need the edge-level
+callbacks, and the paper's failure-detection story ("the entire broadcast
+overlay is implicitly tested at every broadcast") is observable through
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..common.ids import NodeId
+
+
+@runtime_checkable
+class MembershipListener(Protocol):
+    """Receiver of active-view change notifications."""
+
+    def on_neighbor_up(self, peer: NodeId) -> None:
+        """``peer`` entered the active view (symmetric link established)."""
+
+    def on_neighbor_down(self, peer: NodeId) -> None:
+        """``peer`` left the active view (failure, disconnect or eviction)."""
+
+
+class ListenerSet:
+    """Small helper managing listener registration and fan-out."""
+
+    __slots__ = ("_listeners",)
+
+    def __init__(self) -> None:
+        self._listeners: list[MembershipListener] = []
+
+    def add(self, listener: MembershipListener) -> None:
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove(self, listener: MembershipListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def notify_up(self, peer: NodeId) -> None:
+        for listener in self._listeners:
+            listener.on_neighbor_up(peer)
+
+    def notify_down(self, peer: NodeId) -> None:
+        for listener in self._listeners:
+            listener.on_neighbor_down(peer)

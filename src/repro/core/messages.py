@@ -1,0 +1,111 @@
+"""HyParView protocol messages (Algorithm 1 plus the symmetry handshake).
+
+The paper's Algorithm 1 defines JOIN, FORWARDJOIN, DISCONNECT and the
+NEIGHBOR / SHUFFLE / SHUFFLEREPLY exchanges described in Sections 4.3–4.4.
+Two reply messages are added that the pseudo-code leaves implicit but any
+implementation over real connections requires:
+
+* :class:`ForwardJoinReply` — when a walk endpoint adds the joiner to its
+  active view, the joiner must learn about it to add the reverse edge
+  (active views are symmetric, Section 4.1).
+* :class:`NeighborReply` — the accept/reject answer to a NEIGHBOR request
+  (Section 4.3 describes both outcomes; the message makes them explicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.ids import NodeId
+from ..common.messages import Message, register_message
+
+
+@register_message("hyparview.join")
+@dataclass(frozen=True, slots=True)
+class Join(Message):
+    """New node ``new_node`` asks the contact node to admit it."""
+
+    new_node: NodeId
+
+
+@register_message("hyparview.forward_join")
+@dataclass(frozen=True, slots=True)
+class ForwardJoin(Message):
+    """Random walk propagating a join through the overlay.
+
+    ``ttl`` starts at ARWL; at PRWL the walker inserts the joiner in its
+    passive view; at zero (or when the walker's active view has a single
+    member) the joiner is inserted in the active view.
+    """
+
+    new_node: NodeId
+    ttl: int
+    sender: NodeId
+
+
+@register_message("hyparview.forward_join_reply")
+@dataclass(frozen=True, slots=True)
+class ForwardJoinReply(Message):
+    """Walk endpoint tells the joiner it created the active-view edge."""
+
+    sender: NodeId
+
+
+@register_message("hyparview.neighbor")
+@dataclass(frozen=True, slots=True)
+class Neighbor(Message):
+    """Request to become an active-view neighbour (Section 4.3).
+
+    ``high_priority`` is set when the requester's active view is empty; a
+    high-priority request is always accepted, evicting a random member if
+    needed.
+    """
+
+    sender: NodeId
+    high_priority: bool
+
+
+@register_message("hyparview.neighbor_reply")
+@dataclass(frozen=True, slots=True)
+class NeighborReply(Message):
+    """Accept/reject answer to a :class:`Neighbor` request."""
+
+    sender: NodeId
+    accepted: bool
+
+
+@register_message("hyparview.disconnect")
+@dataclass(frozen=True, slots=True)
+class Disconnect(Message):
+    """Notification that the sender removed the receiver from its active
+    view; the receiver mirrors the removal and keeps the sender as a
+    passive-view candidate (Algorithm 1)."""
+
+    sender: NodeId
+
+
+@register_message("hyparview.shuffle")
+@dataclass(frozen=True, slots=True)
+class Shuffle(Message):
+    """Passive-view shuffle request, propagated as a random walk.
+
+    ``origin`` initiated the shuffle and receives the reply; ``sender`` is
+    the previous hop (walks never bounce straight back).  ``exchange``
+    carries the origin's identifier plus ``ka`` active and ``kp`` passive
+    samples (Section 4.4).
+    """
+
+    origin: NodeId
+    sender: NodeId
+    ttl: int
+    exchange: tuple[NodeId, ...]
+
+
+@register_message("hyparview.shuffle_reply")
+@dataclass(frozen=True, slots=True)
+class ShuffleReply(Message):
+    """Accepting node's answer, sent straight back to the origin over a
+    temporary connection with an equally-sized passive-view sample."""
+
+    sender: NodeId
+    exchange: tuple[NodeId, ...]

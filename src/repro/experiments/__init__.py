@@ -1,0 +1,90 @@
+"""The evaluation harness: one driver per table/figure of the paper."""
+
+from .churn import ChurnResult, run_churn_experiment
+from .ablations import (
+    PassiveSizePoint,
+    ResendPoint,
+    ShuffleTtlPoint,
+    default_passive_sizes,
+    run_passive_size_ablation,
+    run_resend_ablation,
+    run_shuffle_ttl_ablation,
+)
+from .failures import (
+    FIGURE2_FRACTIONS,
+    FIGURE3_FRACTIONS,
+    PAPER_PROTOCOLS,
+    FailureExperimentResult,
+    run_failure_experiment,
+    run_failure_sweep,
+    stabilized_scenario,
+)
+from .fanout import (
+    FIGURE1_FANOUTS,
+    FanoutPoint,
+    hyparview_reference_point,
+    run_fanout_sweep,
+)
+from .graphprops import (
+    TABLE1_PROTOCOLS,
+    GraphPropertiesResult,
+    run_graph_properties,
+    run_table1,
+)
+from .healing import (
+    FIGURE4_FRACTIONS,
+    FIGURE4_PROTOCOLS,
+    HealingResult,
+    run_healing_experiment,
+    run_healing_sweep,
+)
+from .params import ExperimentParams, bench_message_count, bench_params
+from .reporting import (
+    format_histogram,
+    format_percent,
+    format_series,
+    format_table,
+    sparkline,
+)
+from .scenario import Scenario
+
+__all__ = [
+    "FIGURE1_FANOUTS",
+    "FIGURE2_FRACTIONS",
+    "FIGURE3_FRACTIONS",
+    "FIGURE4_FRACTIONS",
+    "FIGURE4_PROTOCOLS",
+    "PAPER_PROTOCOLS",
+    "TABLE1_PROTOCOLS",
+    "ChurnResult",
+    "ExperimentParams",
+    "FailureExperimentResult",
+    "FanoutPoint",
+    "GraphPropertiesResult",
+    "HealingResult",
+    "PassiveSizePoint",
+    "ResendPoint",
+    "Scenario",
+    "ShuffleTtlPoint",
+    "bench_message_count",
+    "bench_params",
+    "default_passive_sizes",
+    "format_histogram",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "hyparview_reference_point",
+    "run_failure_experiment",
+    "run_failure_sweep",
+    "run_fanout_sweep",
+    "run_graph_properties",
+    "run_healing_experiment",
+    "run_healing_sweep",
+    "run_churn_experiment",
+    "run_passive_size_ablation",
+    "run_resend_ablation",
+    "run_shuffle_ttl_ablation",
+    "run_table1",
+    "sparkline",
+    "stabilized_scenario",
+]

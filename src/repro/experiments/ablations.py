@@ -1,0 +1,169 @@
+"""Ablations beyond the paper's figures.
+
+Three studies that interrogate the design choices DESIGN.md calls out:
+
+* **passive view size vs. resilience** — the paper's own future-work item
+  ("experiment ... the relation between the passive view size and the
+  resilience level of the protocol", Section 6);
+* **shuffle TTL** — the paper leaves the shuffle walk length unspecified;
+  the sweep shows its effect on passive-view freshness and repair quality;
+* **flood resend-on-repair** — an extension where a failed flood copy is
+  retransmitted towards the repaired active view, trading extra traffic
+  for reliability during the repair transient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..core.config import HyParViewConfig
+from ..gossip.flood import FloodBroadcast
+from ..metrics.reliability import average_reliability
+from .failures import stabilized_scenario
+from .params import ExperimentParams
+
+
+@dataclass(frozen=True, slots=True)
+class PassiveSizePoint:
+    """Resilience of HyParView at one passive-view capacity."""
+
+    passive_capacity: int
+    failure_fraction: float
+    average_reliability: float
+    tail_reliability: float
+    largest_component_fraction: float
+
+
+def run_passive_size_ablation(
+    params: ExperimentParams,
+    passive_sizes: Sequence[int],
+    *,
+    failure_fraction: float = 0.8,
+    messages: int = 50,
+) -> list[PassiveSizePoint]:
+    """Sweep the passive view capacity at a fixed (heavy) failure level."""
+    points = []
+    for capacity in passive_sizes:
+        config = replace(params.hyparview, passive_view_capacity=capacity)
+        point_params = replace(params, hyparview=config)
+        scenario = stabilized_scenario("hyparview", point_params)
+        scenario.fail_fraction(failure_fraction)
+        summaries = scenario.send_paced_broadcasts(messages)
+        series = [summary.reliability for summary in summaries]
+        tail = series[-10:]
+        snapshot = scenario.snapshot()
+        points.append(
+            PassiveSizePoint(
+                passive_capacity=capacity,
+                failure_fraction=failure_fraction,
+                average_reliability=average_reliability(summaries),
+                tail_reliability=sum(tail) / len(tail) if tail else 0.0,
+                largest_component_fraction=snapshot.largest_component_fraction(),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True, slots=True)
+class ShuffleTtlPoint:
+    """Overlay quality at one shuffle walk TTL.
+
+    ``passive_balance`` is the coefficient of variation of the passive
+    in-degree (how many passive views each node appears in): short walks
+    exchange views with nearby nodes only, concentrating representation;
+    longer walks mix the system and flatten it (lower is more uniform).
+    """
+
+    shuffle_ttl: int
+    average_clustering: float
+    passive_balance: float
+    recovery_average: float
+
+
+def run_shuffle_ttl_ablation(
+    params: ExperimentParams,
+    ttls: Sequence[int],
+    *,
+    failure_fraction: float = 0.6,
+    messages: int = 30,
+) -> list[ShuffleTtlPoint]:
+    """Sweep the shuffle random-walk TTL (unspecified in the paper)."""
+    points = []
+    for ttl in ttls:
+        config = replace(params.hyparview, shuffle_ttl=ttl)
+        point_params = replace(params, hyparview=config)
+        scenario = stabilized_scenario("hyparview", point_params)
+        snapshot = scenario.snapshot()
+        passive_in_degree: dict = {}
+        for node_id in scenario.node_ids:
+            for peer in scenario.membership(node_id).passive_members():
+                passive_in_degree[peer] = passive_in_degree.get(peer, 0) + 1
+        counts = [float(passive_in_degree.get(n, 0)) for n in scenario.node_ids]
+        mean_count = sum(counts) / len(counts) if counts else 0.0
+        if mean_count > 0:
+            variance = sum((c - mean_count) ** 2 for c in counts) / len(counts)
+            balance = variance**0.5 / mean_count
+        else:
+            balance = 0.0
+        scenario.fail_fraction(failure_fraction)
+        summaries = scenario.send_paced_broadcasts(messages)
+        points.append(
+            ShuffleTtlPoint(
+                shuffle_ttl=ttl,
+                average_clustering=snapshot.average_clustering(),
+                passive_balance=balance,
+                recovery_average=average_reliability(summaries),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True, slots=True)
+class ResendPoint:
+    """Reliability/traffic trade of the flood resend extension."""
+
+    resend_on_repair: bool
+    failure_fraction: float
+    average_reliability: float
+    first10_average: float
+    data_transmissions: int
+
+
+def run_resend_ablation(
+    params: ExperimentParams,
+    *,
+    failure_fraction: float = 0.8,
+    messages: int = 50,
+) -> list[ResendPoint]:
+    """Compare the paper's no-resend flood with the resend extension."""
+    points = []
+    base = stabilized_scenario("hyparview", params)
+    for resend in (False, True):
+        scenario = base.clone()
+        for node_id in scenario.node_ids:
+            layer = scenario.broadcast_layer(node_id)
+            assert isinstance(layer, FloodBroadcast)
+            layer.resend_on_repair = resend
+        before = scenario.network.stats.messages_by_type.get("GossipData", 0)
+        scenario.fail_fraction(failure_fraction)
+        summaries = scenario.send_paced_broadcasts(messages)
+        after = scenario.network.stats.messages_by_type.get("GossipData", 0)
+        series = [summary.reliability for summary in summaries]
+        head = series[:10]
+        points.append(
+            ResendPoint(
+                resend_on_repair=resend,
+                failure_fraction=failure_fraction,
+                average_reliability=average_reliability(summaries),
+                first10_average=sum(head) / len(head) if head else 0.0,
+                data_transmissions=after - before,
+            )
+        )
+    return points
+
+
+def default_passive_sizes(config: HyParViewConfig) -> tuple[int, ...]:
+    """A sweep bracketing the configured passive capacity."""
+    anchor = config.passive_view_capacity
+    return tuple(sorted({max(2, anchor // 4), max(3, anchor // 2), anchor, anchor * 2}))

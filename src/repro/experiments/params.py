@@ -1,0 +1,120 @@
+"""Experiment parameters (Section 5.1) and the protocol stack registry.
+
+``ExperimentParams.paper()`` is the exact published configuration at
+n = 10 000.  ``ExperimentParams.scaled(n)`` keeps every protocol relation
+intact (Cyclon view = HyParView active + passive; shuffle length ≈ 40% of
+the view; fanout fixed at 4) while shrinking the log-sized views for a
+smaller system, so laptop-scale runs preserve the comparisons the paper
+makes.  Benchmarks read their scale from the environment:
+
+* ``REPRO_BENCH_N`` — system size (default 500),
+* ``REPRO_BENCH_MESSAGES`` — messages per measurement batch,
+* ``REPRO_BENCH_PAPER=1`` — use the exact paper parameters/scale.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..common.errors import ConfigurationError
+from ..core.config import HyParViewConfig
+from ..protocols.cyclon import CyclonConfig
+from ..protocols.scamp import ScampConfig
+
+#: Protocol names accepted by the scenario builder.
+PROTOCOL_NAMES = ("hyparview", "cyclon", "cyclon-acked", "scamp", "plumtree")
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentParams:
+    """Everything a scenario needs to be reproducible."""
+
+    n: int = 1_000
+    seed: int = 42
+    fanout: int = 4
+    stabilization_cycles: int = 50
+    hyparview: HyParViewConfig = field(default_factory=HyParViewConfig)
+    cyclon: CyclonConfig = field(default_factory=CyclonConfig)
+    scamp: ScampConfig = field(default_factory=ScampConfig)
+    latency_seconds: float = 0.01
+    max_events_per_drain: Optional[int] = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"system size must be >= 2: {self.n}")
+        if self.fanout < 1:
+            raise ConfigurationError(f"fanout must be >= 1: {self.fanout}")
+        if self.stabilization_cycles < 0:
+            raise ConfigurationError(
+                f"stabilisation cycles must be >= 0: {self.stabilization_cycles}"
+            )
+        if self.latency_seconds < 0:
+            raise ConfigurationError(f"latency must be >= 0: {self.latency_seconds}")
+
+    @classmethod
+    def paper(cls, n: int = 10_000, seed: int = 42) -> "ExperimentParams":
+        """The exact Section 5.1 setting (10 000 nodes by default)."""
+        return cls(
+            n=n,
+            seed=seed,
+            fanout=4,
+            stabilization_cycles=50,
+            hyparview=HyParViewConfig(
+                active_view_capacity=5,
+                passive_view_capacity=30,
+                arwl=6,
+                prwl=3,
+                shuffle_ka=3,
+                shuffle_kp=4,
+            ),
+            cyclon=CyclonConfig(view_size=35, shuffle_length=14, walk_ttl=5),
+            scamp=ScampConfig(c=4),
+        )
+
+    @classmethod
+    def scaled(cls, n: int, seed: int = 42, stabilization_cycles: int = 50) -> "ExperimentParams":
+        """Paper relations at system size ``n`` (views scale with log n)."""
+        if n < 2:
+            raise ConfigurationError(f"system size must be >= 2: {n}")
+        hyparview = HyParViewConfig().scaled(n)
+        cyclon_view = hyparview.active_view_capacity + hyparview.passive_view_capacity
+        cyclon_view = min(cyclon_view, n - 1)
+        shuffle_length = max(2, min(cyclon_view, round(0.4 * cyclon_view)))
+        return cls(
+            n=n,
+            seed=seed,
+            fanout=4,
+            stabilization_cycles=stabilization_cycles,
+            hyparview=hyparview,
+            cyclon=CyclonConfig(
+                view_size=cyclon_view,
+                shuffle_length=shuffle_length,
+                walk_ttl=5,
+            ),
+            scamp=ScampConfig(c=4),
+        )
+
+    def with_seed(self, seed: int) -> "ExperimentParams":
+        return replace(self, seed=seed)
+
+    def expected_passive_floor(self) -> int:
+        """The "larger than log(n)" requirement from Section 4.1."""
+        return math.ceil(math.log(self.n))
+
+
+def bench_params() -> ExperimentParams:
+    """Parameters for the benchmark harness, controlled by environment
+    variables (see module docstring)."""
+    if os.environ.get("REPRO_BENCH_PAPER", "") == "1":
+        return ExperimentParams.paper()
+    n = int(os.environ.get("REPRO_BENCH_N", "500"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+    return ExperimentParams.scaled(n, seed=seed)
+
+
+def bench_message_count(default: int = 100) -> int:
+    """Messages per benchmark measurement batch (``REPRO_BENCH_MESSAGES``)."""
+    return int(os.environ.get("REPRO_BENCH_MESSAGES", str(default)))

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep that output aligned, stable and
+diff-friendly (EXPERIMENTS.md quotes it verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialized:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_percent(value: float) -> str:
+    """Render a [0, 1] ratio as a one-decimal percentage string."""
+    return f"{100.0 * value:.1f}%"
+
+
+def format_series(series: Sequence[float], *, per_line: int = 20) -> str:
+    """Render a reliability series as wrapped rows of percentages."""
+    chunks = []
+    for start in range(0, len(series), per_line):
+        chunk = series[start : start + per_line]
+        chunks.append(
+            f"  msgs {start:>4}-{start + len(chunk) - 1:<4} "
+            + " ".join(f"{100 * value:5.1f}" for value in chunk)
+        )
+    return "\n".join(chunks)
+
+
+def sparkline(series: Sequence[float], *, low: float = 0.0, high: float = 1.0) -> str:
+    """One-character-per-point rendering of a series, for quick eyeballs."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    if high <= low:
+        return " " * len(series)
+    out = []
+    for value in series:
+        normalized = (min(max(value, low), high) - low) / (high - low)
+        out.append(blocks[round(normalized * (len(blocks) - 1))])
+    return "".join(out)
+
+
+def format_histogram(
+    histogram: Mapping[int, int],
+    *,
+    max_width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Render a degree histogram (Figure 5 style) with proportional bars."""
+    if not histogram:
+        return "(empty histogram)"
+    peak = max(histogram.values())
+    lines = [title] if title else []
+    for degree in sorted(histogram):
+        count = histogram[degree]
+        bar = "#" * max(1, round(max_width * count / peak)) if count else ""
+        lines.append(f"  in-degree {degree:>4}: {count:>6} {bar}")
+    return "\n".join(lines)

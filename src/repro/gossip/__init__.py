@@ -1,0 +1,24 @@
+"""Broadcast layers: eager gossip, HyParView flood, Plumtree, tracking."""
+
+from .base import BroadcastLayer
+from .eager import EagerGossip
+from .flood import FloodBroadcast
+from .messages import GossipData, PlumtreeGossip, PlumtreeGraft, PlumtreeIHave, PlumtreePrune
+from .plumtree import Plumtree, PlumtreeConfig
+from .tracker import BroadcastSummary, BroadcastTracker, DeliveryRecord
+
+__all__ = [
+    "BroadcastLayer",
+    "BroadcastSummary",
+    "BroadcastTracker",
+    "DeliveryRecord",
+    "EagerGossip",
+    "FloodBroadcast",
+    "GossipData",
+    "Plumtree",
+    "PlumtreeConfig",
+    "PlumtreeGossip",
+    "PlumtreeGraft",
+    "PlumtreeIHave",
+    "PlumtreePrune",
+]

@@ -1,0 +1,131 @@
+"""Shared machinery of the broadcast layers.
+
+A broadcast layer sits on top of a peer-sampling service and implements the
+gossip rule of the paper's evaluation: *deliver on first reception, then
+forward* (there is no a-priori bound on gossip rounds — Section 5).  The
+subclasses differ only in target selection and transport discipline:
+
+* :class:`~repro.gossip.eager.EagerGossip` — ``fanout`` random view members,
+  unreliable transport (plain Cyclon/Scamp style), optionally acknowledged
+  (CyclonAcked);
+* :class:`~repro.gossip.flood.FloodBroadcast` — the whole HyParView active
+  view, reliable transport doubling as the failure detector.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..common.ids import MessageId, NodeId, SequenceGenerator
+from ..common.interfaces import Host
+from ..common.messages import Message
+from ..protocols.base import PeerSamplingService
+from .messages import GossipData
+from .tracker import BroadcastTracker
+
+#: Application callback for delivered broadcasts.
+DeliverCallback = Callable[[MessageId, Any], None]
+
+
+class BroadcastLayer(ABC):
+    """Deliver-once-then-forward gossip base class."""
+
+    name = "broadcast"
+
+    def __init__(
+        self,
+        host: Host,
+        membership: PeerSamplingService,
+        tracker: Optional[BroadcastTracker] = None,
+        *,
+        on_deliver: Optional[DeliverCallback] = None,
+        seen_capacity: Optional[int] = None,
+    ) -> None:
+        self._host = host
+        self._membership = membership
+        self._tracker = tracker
+        self._on_deliver = on_deliver
+        self._sequence = SequenceGenerator(host.address)
+        self._seen: set[MessageId] = set()
+        self._seen_order: Optional[deque[MessageId]] = (
+            deque() if seen_capacity is not None else None
+        )
+        self._seen_capacity = seen_capacity
+        self.delivered_count = 0
+        self.duplicate_count = 0
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> NodeId:
+        return self._host.address
+
+    @property
+    def membership(self) -> PeerSamplingService:
+        return self._membership
+
+    def handlers(self) -> dict[type, Callable[[Message], None]]:
+        return {GossipData: self.handle_gossip}
+
+    def broadcast(self, payload: Any = None) -> MessageId:
+        """Broadcast ``payload``; returns the minted message id."""
+        message_id = self._sequence.next_id()
+        if self._tracker is not None:
+            self._tracker.on_broadcast(message_id, self.address, self._host.now())
+        self._mark_seen(message_id)
+        self._deliver(message_id, payload, hops=0)
+        self._forward(message_id, payload, hops=1, exclude=())
+        return message_id
+
+    def handle_gossip(self, message: GossipData) -> None:
+        if message.message_id in self._seen:
+            self.duplicate_count += 1
+            if self._tracker is not None:
+                self._tracker.on_redundant(message.message_id, self.address)
+            return
+        self._mark_seen(message.message_id)
+        self._deliver(message.message_id, message.payload, message.hops)
+        self._forward(
+            message.message_id, message.payload, message.hops + 1, exclude=(message.sender,)
+        )
+
+    def has_delivered(self, message_id: MessageId) -> bool:
+        return message_id in self._seen
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _forward(
+        self,
+        message_id: MessageId,
+        payload: Any,
+        hops: int,
+        exclude: tuple[NodeId, ...],
+    ) -> None:
+        """Send the payload onwards according to the layer's discipline."""
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deliver(self, message_id: MessageId, payload: Any, hops: int) -> None:
+        self.delivered_count += 1
+        if self._tracker is not None:
+            self._tracker.on_deliver(message_id, self.address, self._host.now(), hops)
+        if self._on_deliver is not None:
+            self._on_deliver(message_id, payload)
+
+    def _mark_seen(self, message_id: MessageId) -> None:
+        self._seen.add(message_id)
+        if self._seen_order is not None:
+            self._seen_order.append(message_id)
+            if len(self._seen_order) > self._seen_capacity:
+                evicted = self._seen_order.popleft()
+                self._seen.discard(evicted)
+
+    def _record_transmissions(self, message_id: MessageId, copies: int) -> None:
+        if self._tracker is not None and copies:
+            self._tracker.on_transmit(message_id, copies)

@@ -1,0 +1,63 @@
+"""Messages of the broadcast layers (plain gossip, flood, Plumtree)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..common.ids import MessageId, NodeId
+from ..common.messages import Message, register_message
+
+
+@register_message("gossip.data")
+@dataclass(frozen=True, slots=True)
+class GossipData(Message):
+    """A broadcast payload travelling through the overlay.
+
+    ``hops`` counts network hops from the origin (0 at the origin itself),
+    feeding the "hops to delivery" column of Table 1.
+    """
+
+    message_id: MessageId
+    payload: Any
+    hops: int
+    sender: NodeId
+
+
+@register_message("plumtree.gossip")
+@dataclass(frozen=True, slots=True)
+class PlumtreeGossip(Message):
+    """Eager push: full payload along tree edges."""
+
+    message_id: MessageId
+    payload: Any
+    round: int
+    sender: NodeId
+
+
+@register_message("plumtree.ihave")
+@dataclass(frozen=True, slots=True)
+class PlumtreeIHave(Message):
+    """Lazy push: advertisement of a message id along non-tree edges."""
+
+    message_id: MessageId
+    round: int
+    sender: NodeId
+
+
+@register_message("plumtree.graft")
+@dataclass(frozen=True, slots=True)
+class PlumtreeGraft(Message):
+    """Tree repair: request the payload and re-add the edge to the tree."""
+
+    message_id: MessageId
+    round: int
+    sender: NodeId
+
+
+@register_message("plumtree.prune")
+@dataclass(frozen=True, slots=True)
+class PlumtreePrune(Message):
+    """Tree optimisation: remove the sender-receiver edge from the tree."""
+
+    sender: NodeId

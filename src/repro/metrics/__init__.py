@@ -1,0 +1,28 @@
+"""Overlay analytics and reliability measurement."""
+
+from .graph import OverlaySnapshot, PathStats
+from .reliability import (
+    atomic_fraction,
+    average_reliability,
+    healing_cycles,
+    max_hops,
+    redundancy_ratio,
+    reliability_series,
+)
+from .stats import SummaryStats, mean, percentile, stddev, summarize
+
+__all__ = [
+    "OverlaySnapshot",
+    "PathStats",
+    "SummaryStats",
+    "atomic_fraction",
+    "average_reliability",
+    "healing_cycles",
+    "max_hops",
+    "mean",
+    "percentile",
+    "redundancy_ratio",
+    "reliability_series",
+    "stddev",
+    "summarize",
+]

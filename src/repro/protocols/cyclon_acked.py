@@ -1,0 +1,34 @@
+"""CyclonAcked — Cyclon plus dissemination-time failure detection.
+
+The HyParView authors built this variant themselves (Section 5): the gossip
+layer exchanges explicit acknowledgments, so gossiping to a crashed node
+reveals the failure and the stale entry is expunged from the partial view.
+The benchmark exists to show that HyParView's advantage "does not come only
+from the use of TCP as a failure detector, but also from the clever use of
+two separate partial views".
+
+In this library the acknowledgment machinery is the reliable-send failure
+callback: the gossip layer sends with acknowledgments
+(``EagerGossip(acked=True)``) and routes failures to
+:meth:`CyclonAcked.report_failure`.
+"""
+
+from __future__ import annotations
+
+from ..common.ids import NodeId
+from .cyclon import Cyclon
+
+
+class CyclonAcked(Cyclon):
+    """Cyclon whose view reacts to gossip-layer failure reports."""
+
+    name = "cyclon-acked"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.failures_detected = 0
+
+    def report_failure(self, peer: NodeId) -> None:
+        """Expunge a peer whose gossip acknowledgment timed out."""
+        if self.view.discard(peer):
+            self.failures_detected += 1

@@ -1,0 +1,15 @@
+"""Asyncio TCP runtime: the same protocol code over real sockets."""
+
+from .clock import AsyncioClock, AsyncioTimerHandle
+from .cluster import LocalCluster
+from .node import RUNTIME_CONFIG, RuntimeNode
+from .transport import AsyncioTransport
+
+__all__ = [
+    "AsyncioClock",
+    "AsyncioTimerHandle",
+    "AsyncioTransport",
+    "LocalCluster",
+    "RUNTIME_CONFIG",
+    "RuntimeNode",
+]

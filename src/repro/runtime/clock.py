@@ -1,0 +1,46 @@
+"""Asyncio implementation of the sans-io :class:`Clock` interface."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from ..common.interfaces import Clock, TimerHandle
+
+
+class AsyncioTimerHandle(TimerHandle):
+    """Wraps :class:`asyncio.TimerHandle` in the sans-io handle API."""
+
+    __slots__ = ("_handle", "_cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class AsyncioClock(Clock):
+    """Clock backed by the running event loop.
+
+    Protocol state machines receive this in their :class:`Host`, so the
+    very same HyParView code that runs inside the simulator schedules its
+    shuffles with ``loop.call_later`` here.
+    """
+
+    __slots__ = ("_loop",)
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    def now(self) -> float:
+        return self._loop.time()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        return AsyncioTimerHandle(self._loop.call_later(delay, callback))

@@ -1,0 +1,92 @@
+"""Local cluster helper: spin up several runtime nodes on loopback TCP.
+
+Used by the integration tests and the ``live_network`` example to stand up
+a real (multi-socket, single-process) HyParView deployment in a few lines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from ..common.errors import ConfigurationError
+from ..common.ids import MessageId
+from ..core.config import HyParViewConfig
+from ..gossip.plumtree import PlumtreeConfig
+from .node import RuntimeNode
+
+
+class LocalCluster:
+    """A set of :class:`RuntimeNode` instances joined into one overlay."""
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        config: Optional[HyParViewConfig] = None,
+        broadcast: str = "flood",
+        plumtree_config: Optional[PlumtreeConfig] = None,
+        base_seed: int = 1,
+    ) -> None:
+        if size < 2:
+            raise ConfigurationError(f"cluster needs at least 2 nodes: {size}")
+        self.nodes = [
+            RuntimeNode(
+                config=config,
+                broadcast=broadcast,
+                plumtree_config=plumtree_config,
+                seed=base_seed + index,
+            )
+            for index in range(size)
+        ]
+
+    async def start(self, *, join_delay: float = 0.05, settle: float = 0.3) -> None:
+        """Start every node and join them through the first (the paper's
+        single-contact procedure)."""
+        for node in self.nodes:
+            await node.start()
+        contact = self.nodes[0].node_id
+        for node in self.nodes[1:]:
+            node.join(contact)
+            await asyncio.sleep(join_delay)
+        await asyncio.sleep(settle)
+
+    async def stop(self) -> None:
+        for node in self.nodes:
+            await node.stop()
+
+    async def broadcast_and_settle(
+        self, origin_index: int = 0, payload: Any = None, settle: float = 0.5
+    ) -> MessageId:
+        message_id = self.nodes[origin_index].broadcast(payload)
+        await asyncio.sleep(settle)
+        return message_id
+
+    def delivery_count(self, message_id: MessageId) -> int:
+        return sum(
+            1
+            for node in self.nodes
+            if any(mid == message_id for mid, _payload in node.delivered)
+        )
+
+    async def wait_for_delivery(
+        self, message_id: MessageId, expected: int, *, timeout: float = 5.0
+    ) -> int:
+        """Poll until ``expected`` nodes delivered (or timeout); returns the
+        final count."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while asyncio.get_running_loop().time() < deadline:
+            count = self.delivery_count(message_id)
+            if count >= expected:
+                return count
+            await asyncio.sleep(0.05)
+        return self.delivery_count(message_id)
+
+    async def wait_for_views(self, minimum: int = 1, *, timeout: float = 5.0) -> bool:
+        """Poll until every node has at least ``minimum`` active peers."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while asyncio.get_running_loop().time() < deadline:
+            if all(len(node.active_view()) >= minimum for node in self.nodes):
+                return True
+            await asyncio.sleep(0.05)
+        return False

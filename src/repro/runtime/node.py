@@ -1,0 +1,180 @@
+"""A runtime node: the simulator's protocol stack over real TCP sockets.
+
+This is the paper's future-work deliverable (Section 6: "an implementation
+of HyParView will be tested in the PlanetLab platform") realised with the
+*same* protocol classes the simulator runs — only the :class:`Transport`
+and :class:`Clock` differ.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Optional
+
+from ..common.errors import ConfigurationError
+from ..common.ids import MessageId, NodeId
+from ..common.interfaces import Host
+from ..common.messages import Message
+from ..core.config import HyParViewConfig
+from ..core.protocol import HyParView
+from ..gossip.flood import FloodBroadcast
+from ..gossip.plumtree import Plumtree, PlumtreeConfig
+from ..gossip.tracker import BroadcastTracker
+from .clock import AsyncioClock
+from .transport import AsyncioTransport
+
+#: Application delivery callback: (message id, payload).
+DeliverCallback = Callable[[MessageId, Any], None]
+
+#: Default HyParView tuning for real networks: unlike the simulator's
+#: reliable transport, a real peer can accept a connection and then never
+#: answer, so NEIGHBOR requests need a timeout.
+RUNTIME_CONFIG = HyParViewConfig(neighbor_request_timeout=2.0, shuffle_period=5.0)
+
+
+class RuntimeNode:
+    """One HyParView process listening on a TCP address."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        config: Optional[HyParViewConfig] = None,
+        broadcast: str = "flood",
+        plumtree_config: Optional[PlumtreeConfig] = None,
+        on_deliver: Optional[DeliverCallback] = None,
+        seed: Optional[int] = None,
+        tracker: Optional[BroadcastTracker] = None,
+    ) -> None:
+        if broadcast not in ("flood", "plumtree"):
+            raise ConfigurationError(f"unknown broadcast layer: {broadcast!r}")
+        self._requested_host = host
+        self._requested_port = port
+        self._config = config if config is not None else RUNTIME_CONFIG
+        self._broadcast_kind = broadcast
+        self._plumtree_config = plumtree_config
+        self._external_deliver = on_deliver
+        self._seed = seed
+        self._tracker = tracker
+        self.delivered: list[tuple[MessageId, Any]] = []
+        self.unhandled = 0
+        self._handlers: dict[type, Callable[[Message], None]] = {}
+        self._started = False
+        # Set in start():
+        self.node_id: Optional[NodeId] = None
+        self.transport: Optional[AsyncioTransport] = None
+        self.membership: Optional[HyParView] = None
+        self.broadcast_layer = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> NodeId:
+        """Bind the listening socket and wire the protocol stack.
+
+        Returns the node's identity (with the real port when 0 was asked).
+        """
+        if self._started:
+            raise ConfigurationError("node already started")
+        loop = asyncio.get_running_loop()
+        # Bind first so the advertised identity carries the real port.
+        bootstrap = NodeId(self._requested_host, self._requested_port)
+        self.transport = AsyncioTransport(bootstrap, self._dispatch, loop=loop)
+        await self.transport.start_server()
+        sockname = self.transport._server.sockets[0].getsockname()
+        self.node_id = NodeId(self._requested_host, sockname[1])
+        self.transport._local = self.node_id
+        clock = AsyncioClock(loop)
+        rng = random.Random(self._seed if self._seed is not None else hash(self.node_id))
+        host = Host(address=self.node_id, clock=clock, transport=self.transport, rng=rng)
+        self.membership = HyParView(host, self._config)
+        gossip_rng = random.Random((self._seed or 0) + 1)
+        gossip_host = Host(
+            address=self.node_id, clock=clock, transport=self.transport, rng=gossip_rng
+        )
+        if self._broadcast_kind == "flood":
+            self.broadcast_layer = FloodBroadcast(
+                gossip_host, self.membership, self._tracker, on_deliver=self._on_deliver
+            )
+        else:
+            self.broadcast_layer = Plumtree(
+                gossip_host,
+                self.membership,
+                self._tracker,
+                config=self._plumtree_config,
+                on_deliver=self._on_deliver,
+            )
+        for message_type, handler in self.membership.handlers().items():
+            self._handlers[message_type] = handler
+        for message_type, handler in self.broadcast_layer.handlers().items():
+            self._handlers[message_type] = handler
+        self._started = True
+        return self.node_id
+
+    async def stop(self) -> None:
+        """Leave the overlay gracefully and close all sockets."""
+        if not self._started:
+            return
+        self._started = False
+        self.membership.stop()
+        self.membership.leave()
+        await asyncio.sleep(0)  # let DISCONNECT frames get queued
+        await self.transport.close()
+
+    async def crash(self) -> None:
+        """Close sockets abruptly *without* notifying anyone — peers must
+        find out through connection resets (the failure-detection path)."""
+        if not self._started:
+            return
+        self._started = False
+        self.membership.stop()
+        await self.transport.close()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def join(self, contact: NodeId) -> None:
+        self._require_started()
+        self.membership.join(contact)
+
+    def start_cycles(self) -> None:
+        """Begin self-scheduled periodic shuffles."""
+        self._require_started()
+        self.membership.start()
+
+    def broadcast(self, payload: Any = None) -> MessageId:
+        self._require_started()
+        return self.broadcast_layer.broadcast(payload)
+
+    def active_view(self) -> tuple[NodeId, ...]:
+        self._require_started()
+        return self.membership.active_members()
+
+    def passive_view(self) -> tuple[NodeId, ...]:
+        self._require_started()
+        return self.membership.passive_members()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatch(self, peer: NodeId, message: Message) -> None:
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            self.unhandled += 1
+            return
+        handler(message)
+
+    def _on_deliver(self, message_id: MessageId, payload: Any) -> None:
+        self.delivered.append((message_id, payload))
+        if self._external_deliver is not None:
+            self._external_deliver(message_id, payload)
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ConfigurationError("node not started; call await node.start() first")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "started" if self._started else "stopped"
+        return f"<RuntimeNode {self.node_id} {state}>"

@@ -1,0 +1,269 @@
+"""Asyncio TCP implementation of the sans-io :class:`Transport` interface.
+
+Wire format: newline-delimited JSON frames.  The first frame on every
+connection is a hello — ``{"hello": [host, port]}`` — identifying the
+*listening* address of the dialing side (TCP source ports are ephemeral
+and useless as identities).  Every subsequent frame is an encoded message
+(:func:`repro.common.messages.encode_message`).
+
+Semantics mirror the simulator exactly:
+
+* ``send(dst, msg)`` — best effort; connection errors are swallowed;
+* ``send(dst, msg, on_failure=cb)`` — ``cb`` fires when the peer cannot be
+  reached or the write fails (TCP reset == failure detector);
+* ``probe(dst, cb)`` — connection attempt, reports success/failure;
+* ``watch(dst, on_down)`` — keeps a pooled connection open to ``dst``; the
+  reader hitting EOF/reset fires ``on_down``.  This is the open-TCP-
+  connection-per-active-view-member of Section 4.1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Optional
+
+from ..common.errors import CodecError
+from ..common.ids import NodeId
+from ..common.interfaces import FailureCallback, ProbeCallback, Transport
+from ..common.messages import Message, decode_message, encode_message
+
+#: Handler invoked with (peer, message) for every decoded incoming frame.
+IncomingHandler = Callable[[NodeId, Message], None]
+
+
+class _Connection:
+    """One pooled TCP connection with its reader task."""
+
+    __slots__ = ("peer", "reader", "writer", "reader_task", "closed")
+
+    def __init__(self, peer: NodeId, reader, writer) -> None:
+        self.peer = peer
+        self.reader = reader
+        self.writer = writer
+        self.reader_task: Optional[asyncio.Task] = None
+        self.closed = False
+
+
+class AsyncioTransport(Transport):
+    """Connection-pooling TCP transport for one runtime node."""
+
+    def __init__(
+        self,
+        local: NodeId,
+        on_message: IncomingHandler,
+        *,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        connect_timeout: float = 2.0,
+    ) -> None:
+        self._local = local
+        self._on_message = on_message
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._connect_timeout = connect_timeout
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: dict[NodeId, _Connection] = {}
+        self._connecting: dict[NodeId, asyncio.Task] = {}
+        self._watch_callbacks: dict[NodeId, Callable[[NodeId], None]] = {}
+        self._background: set[asyncio.Task] = set()
+        self._closing = False
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+    @property
+    def local_address(self) -> NodeId:
+        return self._local
+
+    def send(
+        self,
+        dst: NodeId,
+        message: Message,
+        on_failure: Optional[FailureCallback] = None,
+    ) -> None:
+        # Encode here, synchronously: an unencodable message is a caller
+        # bug and must surface in the caller, not in a detached task.
+        frame = (json.dumps(encode_message(message)) + "\n").encode("utf-8")
+        self._spawn(self._send_async(dst, frame, message, on_failure))
+
+    def probe(self, dst: NodeId, on_result: ProbeCallback) -> None:
+        self._spawn(self._probe_async(dst, on_result))
+
+    def watch(self, dst: NodeId, on_down: Callable[[NodeId], None]) -> None:
+        self._watch_callbacks[dst] = on_down
+        self._spawn(self._ensure_watch(dst))
+
+    def unwatch(self, dst: NodeId) -> None:
+        self._watch_callbacks.pop(dst, None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start_server(self) -> None:
+        """Listen on the local address (call before any protocol starts)."""
+        self._server = await asyncio.start_server(
+            self._handle_incoming, self._local.host, self._local.port
+        )
+
+    async def close(self) -> None:
+        """Tear everything down: server, pool, background tasks."""
+        self._closing = True
+        self._watch_callbacks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections.values()):
+            self._close_connection(connection, notify=False)
+        self._connections.clear()
+        for task in list(self._background):
+            task.cancel()
+        if self._background:
+            await asyncio.gather(*self._background, return_exceptions=True)
+        self._background.clear()
+
+    # ------------------------------------------------------------------
+    # Outbound path
+    # ------------------------------------------------------------------
+    async def _send_async(
+        self,
+        dst: NodeId,
+        frame: bytes,
+        message: Message,
+        on_failure: Optional[FailureCallback],
+    ) -> None:
+        try:
+            connection = await self._get_connection(dst)
+            connection.writer.write(frame)
+            await connection.writer.drain()
+            self.frames_sent += 1
+        except (OSError, asyncio.TimeoutError, ConnectionError):
+            if on_failure is not None and not self._closing:
+                on_failure(dst, message)
+
+    async def _probe_async(self, dst: NodeId, on_result: ProbeCallback) -> None:
+        try:
+            await self._get_connection(dst)
+        except (OSError, asyncio.TimeoutError, ConnectionError):
+            if not self._closing:
+                on_result(dst, False)
+            return
+        if not self._closing:
+            on_result(dst, True)
+
+    async def _ensure_watch(self, dst: NodeId) -> None:
+        """Open the held connection behind ``watch``; failure to connect is
+        itself a down signal."""
+        try:
+            await self._get_connection(dst)
+        except (OSError, asyncio.TimeoutError, ConnectionError):
+            callback = self._watch_callbacks.pop(dst, None)
+            if callback is not None and not self._closing:
+                callback(dst)
+
+    async def _get_connection(self, dst: NodeId) -> _Connection:
+        existing = self._connections.get(dst)
+        if existing is not None and not existing.closed:
+            return existing
+        pending = self._connecting.get(dst)
+        if pending is None:
+            pending = self._loop.create_task(self._dial(dst))
+            self._connecting[dst] = pending
+            pending.add_done_callback(self._dial_finished)
+        # Shield so several queued sends can await one dial attempt.
+        return await asyncio.shield(pending)
+
+    def _dial_finished(self, task: asyncio.Task) -> None:
+        for dst, pending in list(self._connecting.items()):
+            if pending is task:
+                del self._connecting[dst]
+        if not task.cancelled():
+            # Retrieve the exception even when every awaiting send was
+            # cancelled mid-dial, so asyncio never logs it as unretrieved.
+            task.exception()
+
+    async def _dial(self, dst: NodeId) -> _Connection:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(dst.host, dst.port), timeout=self._connect_timeout
+        )
+        hello = json.dumps({"hello": self._local.to_wire()}) + "\n"
+        writer.write(hello.encode("utf-8"))
+        await writer.drain()
+        connection = _Connection(dst, reader, writer)
+        self._register(connection)
+        return connection
+
+    # ------------------------------------------------------------------
+    # Inbound path
+    # ------------------------------------------------------------------
+    async def _handle_incoming(self, reader, writer) -> None:
+        try:
+            hello_line = await reader.readline()
+            if not hello_line:
+                writer.close()
+                return
+            hello = json.loads(hello_line)
+            peer = NodeId.from_wire(hello["hello"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            writer.close()
+            return
+        connection = _Connection(peer, reader, writer)
+        self._register(connection)
+
+    def _register(self, connection: _Connection) -> None:
+        previous = self._connections.get(connection.peer)
+        self._connections[connection.peer] = connection
+        if previous is not None and previous is not connection:
+            # Simultaneous dials: keep the newest, silently retire the
+            # older socket (its reader task ends without a down signal).
+            previous.closed = True
+            previous.writer.close()
+        connection.reader_task = self._spawn(self._read_loop(connection))
+
+    async def _read_loop(self, connection: _Connection) -> None:
+        try:
+            while True:
+                line = await connection.reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_message(json.loads(line))
+                except (json.JSONDecodeError, CodecError):
+                    continue  # corrupt frame: drop, keep the connection
+                self.frames_received += 1
+                self._on_message(connection.peer, message)
+        except (OSError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connection_lost(connection)
+
+    def _connection_lost(self, connection: _Connection) -> None:
+        if connection.closed:
+            return  # intentionally retired; not a peer failure
+        connection.closed = True
+        if self._connections.get(connection.peer) is connection:
+            del self._connections[connection.peer]
+        try:
+            connection.writer.close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+        callback = self._watch_callbacks.pop(connection.peer, None)
+        if callback is not None and not self._closing:
+            callback(connection.peer)
+
+    def _close_connection(self, connection: _Connection, *, notify: bool) -> None:
+        connection.closed = not notify  # suppress the down signal if asked
+        if connection.reader_task is not None:
+            connection.reader_task.cancel()
+        try:
+            connection.writer.close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+    # ------------------------------------------------------------------
+    def _spawn(self, coroutine: Awaitable) -> asyncio.Task:
+        task = self._loop.create_task(coroutine)
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+        return task

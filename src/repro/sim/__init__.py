@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate (the PeerSim equivalent)."""
+
+from .clock import SimClock
+from .engine import Engine, EventHandle, PeriodicTask
+from .latency import ConstantLatency, CoordinateLatency, LatencyModel, UniformLatency
+from .network import Network, NetworkStats
+from .node import SimNode
+from .transport import SimTransport
+from .trace import EventTrace, TraceRecord
+
+__all__ = [
+    "ConstantLatency",
+    "CoordinateLatency",
+    "Engine",
+    "EventHandle",
+    "EventTrace",
+    "LatencyModel",
+    "Network",
+    "NetworkStats",
+    "PeriodicTask",
+    "SimClock",
+    "SimNode",
+    "SimTransport",
+    "TraceRecord",
+    "UniformLatency",
+]

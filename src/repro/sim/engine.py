@@ -1,0 +1,198 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate the paper gets from PeerSim [11]: a priority queue of
+timestamped events plus helpers for periodic (cycle-driven) behaviour.  The
+kernel is deliberately minimal and fast — a heap of ``(time, seq, event)``
+tuples — because reproduction experiments push millions of message events
+through it.
+
+Two driving styles are supported, matching PeerSim's two modes:
+
+* **event-driven** — schedule callbacks at arbitrary times and call
+  :meth:`Engine.run_until_idle` / :meth:`Engine.run_until`;
+* **cycle-driven** — the experiment harness invokes protocol cycles
+  explicitly and drains the resulting event cascade between cycles, which is
+  exactly how the paper alternates "membership cycles" and message batches.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Optional
+
+from ..common.errors import SimulationError
+from ..common.interfaces import TimerHandle
+
+
+class EventHandle(TimerHandle):
+    """Handle for a scheduled event; cancellation is O(1) (lazy removal)."""
+
+    __slots__ = ("time", "_callback", "_args", "_cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple) -> None:
+        self.time = time
+        self._callback: Optional[Callable[..., None]] = callback
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        # Drop references so cancelled events pinned in the heap do not keep
+        # large object graphs alive.
+        self._callback = None
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if not self._cancelled and self._callback is not None:
+            self._callback(*self._args)
+
+
+class Engine:
+    """The simulation event loop.
+
+    Events scheduled for the same instant fire in scheduling order (FIFO),
+    which makes runs fully deterministic given deterministic callbacks.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[tuple[float, int, EventHandle]] = []
+        self._sequence = count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of queued events, including lazily-cancelled ones."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Total events fired since the engine was created."""
+        return self._processed
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
+        handle = EventHandle(when, callback, args)
+        heapq.heappush(self._queue, (when, next(self._sequence), handle))
+        return handle
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def step(self) -> bool:
+        """Fire the earliest event.  Returns ``False`` when the queue is
+        empty (time does not advance in that case)."""
+        while self._queue:
+            when, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = when
+            self._processed += 1
+            handle._fire()
+            return True
+        return False
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue; returns the number of events fired.
+
+        ``max_events`` guards against runaway cascades (a protocol bug that
+        schedules unboundedly); exceeding it raises :class:`SimulationError`
+        instead of hanging the test suite.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(f"run_until_idle exceeded {max_events} events — runaway cascade?")
+        return fired
+
+    def run_until(self, deadline: float) -> int:
+        """Fire every event with timestamp <= ``deadline``, then set the
+        clock to ``deadline``.  Returns the number of events fired."""
+        if deadline < self._now:
+            raise SimulationError(f"deadline in the past: {deadline} < {self._now}")
+        fired = 0
+        while self._queue:
+            when, _seq, handle = self._queue[0]
+            if when > deadline:
+                break
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = when
+            self._processed += 1
+            handle._fire()
+            fired += 1
+        self._now = deadline
+        return fired
+
+    def run_for(self, duration: float) -> int:
+        """Convenience: :meth:`run_until` ``now + duration``."""
+        return self.run_until(self._now + duration)
+
+
+class PeriodicTask:
+    """Repeatedly invokes a callback every ``period`` seconds.
+
+    Used for self-driven protocol cycles (live simulations and the asyncio
+    runtime style); the experiment harness instead triggers cycles manually
+    for lock-step control.  An optional start ``jitter`` desynchronises node
+    cycles the way real deployments are desynchronised.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        jitter: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive: {period}")
+        if jitter < 0:
+            raise SimulationError(f"jitter must be non-negative: {jitter}")
+        self._engine = engine
+        self._period = period
+        self._callback = callback
+        self._jitter = jitter
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._handle = self._engine.schedule(self._jitter + self._period, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:  # the callback may have stopped us
+            self._handle = self._engine.schedule(self._period, self._tick)

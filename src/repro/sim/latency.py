@@ -1,0 +1,88 @@
+"""Network latency models.
+
+The paper's PeerSim experiments use an abstract message-exchange model; we
+default to a small constant latency, and provide richer models (uniform
+jitter, coordinate-based wide-area delays) for the runtime-flavoured
+simulations and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+from ..common.errors import ConfigurationError
+from ..common.ids import NodeId
+
+
+class LatencyModel(ABC):
+    """Maps a (src, dst) pair to a one-way message delay in seconds."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def delay(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        """One-way delay for a message from ``src`` to ``dst``."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` seconds — the PeerSim-style
+    abstract model used by the paper's experiments."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.01) -> None:
+        if value < 0:
+            raise ConfigurationError(f"latency must be non-negative: {value}")
+        self.value = value
+
+    def delay(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]`` per message."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ConfigurationError(f"invalid latency range: [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def delay(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class CoordinateLatency(LatencyModel):
+    """Wide-area model: nodes get stable synthetic 2-D coordinates and the
+    delay is ``base + distance * per_unit``.
+
+    Coordinates are derived deterministically from the node identity, so the
+    model needs no registration step and is stable across runs.  This gives
+    a PlanetLab-flavoured heterogeneous delay matrix for ablations.
+    """
+
+    __slots__ = ("base", "per_unit", "_cache")
+
+    def __init__(self, base: float = 0.005, per_unit: float = 0.05) -> None:
+        if base < 0 or per_unit < 0:
+            raise ConfigurationError("latency parameters must be non-negative")
+        self.base = base
+        self.per_unit = per_unit
+        self._cache: dict[NodeId, tuple[float, float]] = {}
+
+    def _coordinate(self, node: NodeId) -> tuple[float, float]:
+        coord = self._cache.get(node)
+        if coord is None:
+            stream = random.Random(f"{node.host}:{node.port}/coordinate")
+            coord = (stream.random(), stream.random())
+            self._cache[node] = coord
+        return coord
+
+    def delay(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        (x1, y1), (x2, y2) = self._coordinate(src), self._coordinate(dst)
+        distance = math.hypot(x1 - x2, y1 - y2)
+        return self.base + distance * self.per_unit

@@ -1,0 +1,336 @@
+"""The simulated network: node registry, failures, partitions, delivery.
+
+This module provides the behaviour the paper obtains from PeerSim plus its
+transport assumptions:
+
+* **reliable sends** (``on_failure`` callback supplied) model TCP: delivered
+  exactly once if the destination is reachable, otherwise the *sender* is
+  told — "TCP is also used as a failure detector" (Section 1, point iii);
+* **datagram sends** model the unreliable transport that plain gossip
+  protocols are usually evaluated over: silently dropped when the
+  destination is down, and subject to an optional random loss rate;
+* **failure injection** marks nodes as crashed; their timers stop firing,
+  in-flight messages to them are lost, and reliable senders get failure
+  notifications — exactly the observable behaviour of a crashed process;
+* **partitions** make reliable sends across the cut fail and datagrams
+  disappear, for split-brain experiments beyond the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from ..common.errors import SimulationError, UnknownNodeError
+from ..common.ids import NodeId
+from ..common.interfaces import FailureCallback, ProbeCallback
+from ..common.messages import Message
+from ..common.rng import SeedSequence
+from .engine import Engine
+from .latency import ConstantLatency, LatencyModel
+from .trace import EventTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import SimNode
+
+
+class NetworkStats:
+    """Counters for everything the network did.
+
+    ``messages_by_type`` is the basis for the protocol-overhead comparisons
+    (e.g. Plumtree payload savings vs. plain flooding).
+    """
+
+    __slots__ = (
+        "sent",
+        "delivered",
+        "dropped_loss",
+        "dropped_dead",
+        "send_failures",
+        "probes_ok",
+        "probes_failed",
+        "messages_by_type",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_loss = 0
+        self.dropped_dead = 0
+        self.send_failures = 0
+        self.probes_ok = 0
+        self.probes_failed = 0
+        self.messages_by_type: Counter = Counter()
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, convenient for asserting deltas in tests."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_loss": self.dropped_loss,
+            "dropped_dead": self.dropped_dead,
+            "send_failures": self.send_failures,
+            "probes_ok": self.probes_ok,
+            "probes_failed": self.probes_failed,
+            "messages_by_type": dict(self.messages_by_type),
+        }
+
+
+class Network:
+    """Registry of simulated nodes plus the message-passing fabric."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        latency: Optional[LatencyModel] = None,
+        seeds: Optional[SeedSequence] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(f"loss_rate must be in [0, 1): {loss_rate}")
+        self.engine = engine
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.loss_rate = loss_rate
+        seeds = seeds if seeds is not None else SeedSequence(0)
+        self.seeds = seeds
+        self._rng: random.Random = seeds.stream("network")
+        self._nodes: dict[NodeId, "SimNode"] = {}
+        self._alive: set[NodeId] = set()
+        self._partition: Optional[dict[NodeId, int]] = None
+        # watched node -> {watcher -> callback}: the open-TCP-connection
+        # registry behind Transport.watch (see module docstring).
+        self._watchers: dict[NodeId, dict[NodeId, Callable[[NodeId], None]]] = {}
+        self.stats = NetworkStats()
+        self.trace: Optional[EventTrace] = None
+
+    # ------------------------------------------------------------------
+    # Node registry and liveness
+    # ------------------------------------------------------------------
+    def register(self, node: "SimNode") -> None:
+        """Called by :class:`~repro.sim.node.SimNode` on construction."""
+        if node.node_id in self._nodes:
+            raise SimulationError(f"duplicate node id: {node.node_id}")
+        self._nodes[node.node_id] = node
+        self._alive.add(node.node_id)
+
+    def node(self, node_id: NodeId) -> "SimNode":
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node: {node_id}") from None
+
+    @property
+    def node_ids(self) -> list[NodeId]:
+        return list(self._nodes)
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def is_alive(self, node_id: NodeId) -> bool:
+        return node_id in self._alive
+
+    def alive_ids(self) -> list[NodeId]:
+        return [node_id for node_id in self._nodes if node_id in self._alive]
+
+    def fail(self, node_id: NodeId) -> None:
+        """Crash a node: timers stop, messages to it are lost or reported,
+        and every holder of an open connection to it (see :meth:`watch`)
+        learns about the loss after one network delay — the TCP reset a
+        crashed process's neighbours observe."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(f"unknown node: {node_id}")
+        self._alive.discard(node_id)
+        watchers = self._watchers.pop(node_id, None)
+        if watchers:
+            for watcher, callback in watchers.items():
+                delay = self.latency.delay(node_id, watcher, self._rng)
+                self.engine.schedule(delay, self._notify_link_down, watcher, node_id, callback)
+        # The crashed node's own held connections die with it: purge its
+        # outgoing watch registrations so a later revived incarnation never
+        # receives callbacks wired to the dead protocol instance.
+        for watched in list(self._watchers):
+            entry = self._watchers[watched]
+            entry.pop(node_id, None)
+            if not entry:
+                del self._watchers[watched]
+
+    def fail_many(self, node_ids: Iterable[NodeId]) -> None:
+        for node_id in node_ids:
+            self.fail(node_id)
+
+    def recover(self, node_id: NodeId) -> None:
+        """Mark a crashed node alive again.
+
+        The node's protocol state is *not* restored to anything useful — a
+        recovered process must rejoin the overlay, exactly as a restarted
+        real process would.  The experiment harness performs the rejoin.
+        """
+        if node_id not in self._nodes:
+            raise UnknownNodeError(f"unknown node: {node_id}")
+        self._alive.add(node_id)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def set_partitions(self, groups: Iterable[Iterable[NodeId]]) -> None:
+        """Split the network: nodes can only reach others in their group.
+
+        Nodes not listed in any group form one final implicit group.
+        """
+        mapping: dict[NodeId, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                if node_id in mapping:
+                    raise SimulationError(f"node in two partition groups: {node_id}")
+                mapping[node_id] = index
+        self._partition = mapping
+
+    def clear_partitions(self) -> None:
+        self._partition = None
+
+    def reachable(self, src: NodeId, dst: NodeId) -> bool:
+        """True when a message from ``src`` can currently reach ``dst``."""
+        if dst not in self._alive:
+            return False
+        if self._partition is None:
+            return True
+        implicit = -1
+        return self._partition.get(src, implicit) == self._partition.get(dst, implicit)
+
+    # ------------------------------------------------------------------
+    # Message passing
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        on_failure: Optional[FailureCallback] = None,
+    ) -> None:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        With ``on_failure`` the send is reliable (TCP semantics); without it
+        the send is a datagram.  See the module docstring.
+        """
+        self.stats.sent += 1
+        self.stats.messages_by_type[type(message).__name__] += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "send", src, dst, message)
+        delay = self.latency.delay(src, dst, self._rng)
+        if on_failure is not None:
+            if self.reachable(src, dst):
+                self.engine.schedule(delay, self._deliver_reliable, src, dst, message, on_failure)
+            else:
+                # TCP reset / connect failure: the sender learns after one
+                # network delay that the peer is gone.
+                self.engine.schedule(delay, self._notify_failure, src, dst, message, on_failure)
+            return
+        if not self.reachable(src, dst):
+            self.stats.dropped_dead += 1
+            if self.trace is not None:
+                self.trace.record(self.engine.now, "drop-dead", src, dst, message)
+            return
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.stats.dropped_loss += 1
+            if self.trace is not None:
+                self.trace.record(self.engine.now, "drop-loss", src, dst, message)
+            return
+        self.engine.schedule(delay, self._deliver, src, dst, message)
+
+    def watch(self, src: NodeId, dst: NodeId, on_down: Callable[[NodeId], None]) -> None:
+        """``src`` holds an open connection to ``dst`` (Transport.watch).
+
+        If ``dst`` is already down the loss is reported immediately (after
+        one delay), mirroring a connect that races with the crash.
+        """
+        if dst not in self._alive:
+            delay = self.latency.delay(dst, src, self._rng)
+            self.engine.schedule(delay, self._notify_link_down, src, dst, on_down)
+            return
+        self._watchers.setdefault(dst, {})[src] = on_down
+
+    def unwatch(self, src: NodeId, dst: NodeId) -> None:
+        watchers = self._watchers.get(dst)
+        if watchers is not None:
+            watchers.pop(src, None)
+            if not watchers:
+                del self._watchers[dst]
+
+    def _notify_link_down(
+        self, watcher: NodeId, peer: NodeId, callback: Callable[[NodeId], None]
+    ) -> None:
+        if watcher not in self._alive:
+            return
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "link-down", peer, watcher, None)
+        callback(peer)
+
+    def probe(self, src: NodeId, dst: NodeId, on_result: ProbeCallback) -> None:
+        """Connection attempt: the result arrives after one round trip."""
+        rtt = 2 * self.latency.delay(src, dst, self._rng)
+        ok = self.reachable(src, dst)
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "probe", src, dst, None)
+        self.engine.schedule(rtt, self._probe_result, src, dst, ok, on_result)
+
+    # ------------------------------------------------------------------
+    # Internal delivery machinery
+    # ------------------------------------------------------------------
+    def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        if dst not in self._alive:
+            self.stats.dropped_dead += 1
+            if self.trace is not None:
+                self.trace.record(self.engine.now, "drop-dead", src, dst, message)
+            return
+        self.stats.delivered += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "deliver", src, dst, message)
+        self._nodes[dst].deliver(message)
+
+    def _deliver_reliable(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        on_failure: FailureCallback,
+    ) -> None:
+        if dst not in self._alive:
+            # The peer died while the message was in flight; TCP surfaces
+            # this to the sender as a reset.
+            self._notify_failure(src, dst, message, on_failure)
+            return
+        self.stats.delivered += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "deliver", src, dst, message)
+        self._nodes[dst].deliver(message)
+
+    def _notify_failure(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        on_failure: FailureCallback,
+    ) -> None:
+        if src not in self._alive:
+            return  # a crashed sender observes nothing
+        self.stats.send_failures += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "send-failure", src, dst, message)
+        on_failure(dst, message)
+
+    def _probe_result(self, src: NodeId, dst: NodeId, ok: bool, on_result: ProbeCallback) -> None:
+        if src not in self._alive:
+            return
+        if ok and dst not in self._alive:
+            ok = False  # the peer died during the handshake
+        if ok:
+            self.stats.probes_ok += 1
+        else:
+            self.stats.probes_failed += 1
+        on_result(dst, ok)

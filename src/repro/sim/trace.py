@@ -1,0 +1,89 @@
+"""Lightweight event tracing for simulations.
+
+Tracing is off by default (the hot path only pays an ``if tracer`` check).
+When attached to a :class:`~repro.sim.network.Network` it records message
+sends, deliveries, drops and failure notifications, which the tests use to
+assert fine-grained protocol behaviour (e.g. "the FORWARDJOIN walk took
+exactly ARWL hops").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..common.ids import NodeId
+from ..common.messages import Message
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced network event."""
+
+    time: float
+    kind: str  # "send" | "deliver" | "drop-loss" | "drop-dead" | "send-failure" | "probe"
+    src: Optional[NodeId]
+    dst: Optional[NodeId]
+    message_type: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return f"[{self.time:.4f}] {self.kind:12s} {self.src} -> {self.dst} {self.message_type}"
+
+
+class EventTrace:
+    """Bounded in-memory trace of network events.
+
+    ``limit`` caps memory; once full, the oldest records are discarded so a
+    long-running simulation cannot exhaust memory because someone forgot to
+    detach the tracer.
+    """
+
+    def __init__(self, limit: int = 100_000) -> None:
+        self._limit = limit
+        self._records: list[TraceRecord] = []
+        self._dropped = 0
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        src: Optional[NodeId],
+        dst: Optional[NodeId],
+        message: Optional[Message],
+    ) -> None:
+        if len(self._records) >= self._limit:
+            # Discard the oldest half in one go; trimming one-by-one would be
+            # quadratic over the life of the trace.
+            keep = self._limit // 2
+            self._dropped += len(self._records) - keep
+            self._records = self._records[-keep:]
+        message_type = type(message).__name__ if message is not None else "-"
+        self._records.append(TraceRecord(time, kind, src, dst, message_type))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def dropped_records(self) -> int:
+        """How many records were evicted due to the size limit."""
+        return self._dropped
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [record for record in self._records if record.kind == kind]
+
+    def messages_of_type(self, type_name: str) -> list[TraceRecord]:
+        return [record for record in self._records if record.message_type == type_name]
+
+    def counts_by_type(self, kinds: Iterable[str] = ("send",)) -> Counter:
+        """Histogram of message type names over the selected event kinds."""
+        wanted = set(kinds)
+        return Counter(
+            record.message_type for record in self._records if record.kind in wanted
+        )

@@ -1,0 +1,81 @@
+"""Tests for the experiments CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.n == 200
+        assert args.seed == 42
+        assert args.messages == 10
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "2", "--n", "100"])
+        assert args.which == "2"
+        assert args.n == 100
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "nope"])
+
+    def test_healing_failure_list(self):
+        args = build_parser().parse_args(["healing", "--failures", "0.1", "0.5"])
+        assert args.failures == [0.1, 0.5]
+
+    def test_paper_params_flag(self):
+        args = build_parser().parse_args(["quickstart", "--paper-params"])
+        assert args.paper_params is True
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--n", "60", "--messages", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "avg reliability" in out
+        assert "1.0000" in out
+
+    def test_figure_1a(self, capsys):
+        assert main(["figure", "1a", "--n", "60", "--messages", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1a" in out
+        assert "flood" in out
+
+    def test_figure_1c(self, capsys):
+        assert main(["figure", "1c", "--n", "60", "--messages", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cyclon" in out
+        assert "scamp" in out
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1", "--n", "60", "--messages", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hyparview" in out
+        assert "avg clustering" in out
+
+    def test_figure_5(self, capsys):
+        assert main(["figure", "5", "--n", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "in-degree" in out
+
+    def test_healing(self, capsys):
+        assert main(["healing", "--n", "60", "--failures", "0.3", "--max-cycles", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles to heal" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--n", "60", "--failures", "0.4", "--messages", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hyparview" in out
+        assert "40%" in out
+
+    def test_ablation_resend(self, capsys):
+        assert main(
+            ["ablation", "resend", "--n", "60", "--failure", "0.4", "--messages", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resend" in out

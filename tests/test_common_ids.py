@@ -1,0 +1,80 @@
+"""Unit tests for node and message identifiers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.ids import MessageId, NodeId, SequenceGenerator, simulated_node_ids
+
+
+class TestNodeId:
+    def test_structural_equality(self):
+        assert NodeId("a", 1) == NodeId("a", 1)
+        assert NodeId("a", 1) != NodeId("a", 2)
+        assert NodeId("a", 1) != NodeId("b", 1)
+
+    def test_hashable_and_usable_in_sets(self):
+        nodes = {NodeId("a", 1), NodeId("a", 1), NodeId("b", 2)}
+        assert len(nodes) == 2
+
+    def test_ordering_is_total(self):
+        nodes = [NodeId("b", 1), NodeId("a", 2), NodeId("a", 1)]
+        assert sorted(nodes) == [NodeId("a", 1), NodeId("a", 2), NodeId("b", 1)]
+
+    def test_str(self):
+        assert str(NodeId("host", 80)) == "host:80"
+
+    @given(st.text(min_size=1), st.integers(min_value=0, max_value=65535))
+    def test_wire_roundtrip(self, host, port):
+        node = NodeId(host, port)
+        assert NodeId.from_wire(node.to_wire()) == node
+
+
+class TestMessageId:
+    def test_wire_roundtrip(self):
+        mid = MessageId(NodeId("x", 1), 42)
+        assert MessageId.from_wire(mid.to_wire()) == mid
+
+    def test_str(self):
+        assert str(MessageId(NodeId("x", 1), 7)) == "x:1#7"
+
+    def test_ordering_groups_by_origin(self):
+        a0 = MessageId(NodeId("a", 1), 0)
+        a1 = MessageId(NodeId("a", 1), 1)
+        b0 = MessageId(NodeId("b", 1), 0)
+        assert sorted([b0, a1, a0]) == [a0, a1, b0]
+
+
+class TestSimulatedNodeIds:
+    def test_count_and_uniqueness(self):
+        ids = simulated_node_ids(100)
+        assert len(ids) == 100
+        assert len(set(ids)) == 100
+
+    def test_empty(self):
+        assert simulated_node_ids(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            simulated_node_ids(-1)
+
+    def test_base_port_offsets(self):
+        ids = simulated_node_ids(3, base_port=5000)
+        assert [node.port for node in ids] == [5000, 5001, 5002]
+
+
+class TestSequenceGenerator:
+    def test_monotone_unique(self):
+        gen = SequenceGenerator(NodeId("a", 1))
+        ids = [gen.next_id() for _ in range(10)]
+        assert len(set(ids)) == 10
+        assert [mid.sequence for mid in ids] == list(range(10))
+
+    def test_distinct_origins_never_collide(self):
+        gen_a = SequenceGenerator(NodeId("a", 1))
+        gen_b = SequenceGenerator(NodeId("b", 1))
+        assert gen_a.next_id() != gen_b.next_id()
+
+    def test_start_offset(self):
+        gen = SequenceGenerator(NodeId("a", 1), start=100)
+        assert gen.next_id().sequence == 100

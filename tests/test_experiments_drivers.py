@@ -1,0 +1,165 @@
+"""Tests for the per-figure experiment drivers and reporting helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentParams,
+    format_histogram,
+    format_percent,
+    format_series,
+    format_table,
+    hyparview_reference_point,
+    run_failure_experiment,
+    run_failure_sweep,
+    run_fanout_sweep,
+    run_graph_properties,
+    run_healing_experiment,
+    run_passive_size_ablation,
+    run_resend_ablation,
+    run_shuffle_ttl_ablation,
+    sparkline,
+    stabilized_scenario,
+)
+
+PARAMS = ExperimentParams.scaled(80, stabilization_cycles=8)
+
+
+class TestFailureDriver:
+    def test_result_fields(self):
+        result = run_failure_experiment("hyparview", PARAMS, 0.3, messages=10)
+        assert result.protocol == "hyparview"
+        assert result.failure_fraction == 0.3
+        assert len(result.series) == 10
+        assert 0.0 <= result.average <= 1.0
+        assert result.correct_nodes == 56
+        assert 0.0 <= result.atomic <= 1.0
+        assert result.tail_average(3) == sum(result.series[-3:]) / 3
+
+    def test_base_scenario_not_mutated(self):
+        base = stabilized_scenario("hyparview", PARAMS)
+        run_failure_experiment("hyparview", PARAMS, 0.5, messages=5, base=base)
+        assert len(base.alive_ids()) == 80
+
+    def test_sweep_covers_grid(self):
+        results = run_failure_sweep(["hyparview", "cyclon"], [0.2, 0.5], PARAMS, messages=5)
+        assert set(results) == {
+            ("hyparview", 0.2),
+            ("hyparview", 0.5),
+            ("cyclon", 0.2),
+            ("cyclon", 0.5),
+        }
+
+    def test_hyparview_beats_cyclon_after_heavy_failure(self):
+        results = run_failure_sweep(["hyparview", "cyclon"], [0.5], PARAMS, messages=15)
+        assert (
+            results[("hyparview", 0.5)].average > results[("cyclon", 0.5)].average
+        )
+
+
+class TestFanoutDriver:
+    def test_sweep_monotone_in_fanout(self):
+        points = run_fanout_sweep("cyclon", (1, 4), PARAMS, messages=10)
+        assert points[0].average_reliability < points[1].average_reliability
+
+    def test_hyparview_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_fanout_sweep("hyparview", (1, 2), PARAMS)
+
+    def test_reference_point_is_atomic(self):
+        point = hyparview_reference_point(PARAMS, messages=5)
+        assert point.average_reliability == 1.0
+        assert point.atomic_fraction == 1.0
+
+
+class TestHealingDriver:
+    def test_hyparview_heals_quickly(self):
+        result = run_healing_experiment(
+            "hyparview", PARAMS, 0.3, probes_per_cycle=5, max_cycles=10
+        )
+        assert result.cycles_to_heal is not None
+        assert result.cycles_to_heal <= 3
+        assert result.baseline_reliability == 1.0
+
+    def test_unhealed_run_reports_none(self):
+        result = run_healing_experiment(
+            "cyclon", PARAMS, 0.6, probes_per_cycle=3, max_cycles=1
+        )
+        assert result.max_cycles == 1
+        # One cycle is almost never enough for Cyclon at 60% failures.
+        assert result.cycles_to_heal is None or result.cycles_to_heal == 1
+
+
+class TestGraphPropertiesDriver:
+    def test_table1_row_fields(self):
+        result = run_graph_properties("hyparview", PARAMS, messages=5, path_sample_sources=20)
+        assert result.connected
+        assert result.symmetry_fraction == 1.0
+        assert result.average_clustering < 0.2
+        assert result.path_stats.average > 1.0
+        assert result.max_hops_to_delivery >= 1.0
+        assert sum(result.in_degree_histogram.values()) == 80
+
+    def test_cyclon_row_has_wider_in_degree_spread(self):
+        hv = run_graph_properties("hyparview", PARAMS, messages=5, path_sample_sources=20)
+        cy = run_graph_properties("cyclon", PARAMS, messages=5, path_sample_sources=20)
+        assert cy.in_degree_stats.stddev > hv.in_degree_stats.stddev
+
+
+class TestAblations:
+    def test_passive_size_points(self):
+        points = run_passive_size_ablation(
+            PARAMS, passive_sizes=(4, 16), failure_fraction=0.5, messages=8
+        )
+        assert [p.passive_capacity for p in points] == [4, 16]
+        for point in points:
+            assert 0.0 <= point.average_reliability <= 1.0
+            assert 0.0 < point.largest_component_fraction <= 1.0
+
+    def test_shuffle_ttl_points(self):
+        points = run_shuffle_ttl_ablation(PARAMS, ttls=(1, 4), failure_fraction=0.4, messages=5)
+        assert [p.shuffle_ttl for p in points] == [1, 4]
+        for point in points:
+            assert point.passive_balance >= 0.0
+
+    def test_resend_ablation_improves_transient(self):
+        points = run_resend_ablation(PARAMS, failure_fraction=0.5, messages=10)
+        baseline = next(p for p in points if not p.resend_on_repair)
+        resend = next(p for p in points if p.resend_on_repair)
+        assert resend.data_transmissions >= baseline.data_transmissions
+        assert resend.first10_average >= baseline.first10_average - 0.05
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 0.25]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all(len(line) == len(lines[2]) or True for line in lines)
+        assert "1.5000" in table
+
+    def test_format_percent(self):
+        assert format_percent(0.985) == "98.5%"
+
+    def test_format_series_wraps(self):
+        text = format_series([0.5] * 45, per_line=20)
+        assert len(text.splitlines()) == 3
+        assert " 50.0" in text
+
+    def test_sparkline_range(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " "
+        assert line[-1] == "█"
+
+    def test_format_histogram(self):
+        text = format_histogram({1: 5, 3: 10}, title="H")
+        assert "in-degree    1" in text
+        assert "in-degree    3" in text
+        assert text.splitlines()[0] == "H"
+
+    def test_format_histogram_empty(self):
+        assert "empty" in format_histogram({})

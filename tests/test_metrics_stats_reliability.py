@@ -1,0 +1,112 @@
+"""Tests for statistics helpers and reliability aggregation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import MessageId, NodeId
+from repro.gossip.tracker import BroadcastSummary
+from repro.metrics.reliability import (
+    atomic_fraction,
+    average_reliability,
+    healing_cycles,
+    max_hops,
+    redundancy_ratio,
+    reliability_series,
+)
+from repro.metrics.stats import SummaryStats, mean, percentile, stddev, summarize
+
+
+def summary(i, reliability, *, sent_at=None, hops=5, delivered=50, redundant=10):
+    return BroadcastSummary(
+        message_id=MessageId(NodeId("o", 1), i),
+        origin=NodeId("o", 1),
+        sent_at=float(i) if sent_at is None else sent_at,
+        population_size=100,
+        delivered=delivered,
+        reliability=reliability,
+        max_hops=hops,
+        last_delivery_at=float(i),
+        redundant=redundant,
+        transmissions=200,
+    )
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stddev(self):
+        assert stddev([2.0, 2.0, 2.0]) == 0.0
+        assert stddev([1.0]) == 0.0
+        assert stddev([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_percentile(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 4.0
+        assert percentile(data, 50) == pytest.approx(2.5)
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+    def test_summarize(self):
+        stats = summarize([3.0, 1.0, 2.0])
+        assert stats == SummaryStats(3, 2.0, stddev([3.0, 1.0, 2.0]), 1.0, 2.0, percentile([1, 2, 3], 95), 3.0)
+
+    def test_summarize_empty(self):
+        assert summarize([]).count == 0
+
+    @given(st.lists(st.floats(-1000, 1000), min_size=1, max_size=40))
+    def test_summary_bounds_property(self, values):
+        stats = summarize(values)
+        ulp = 1e-9  # float summation can drift by an ulp around the bounds
+        assert stats.minimum <= stats.p50 <= stats.maximum
+        assert stats.minimum - ulp <= stats.mean <= stats.maximum + ulp
+
+
+class TestReliabilityAggregation:
+    def test_series_ordered_by_send_time(self):
+        summaries = [summary(2, 0.3), summary(0, 0.1), summary(1, 0.2)]
+        assert reliability_series(summaries) == [0.1, 0.2, 0.3]
+
+    def test_average(self):
+        assert average_reliability([summary(0, 0.5), summary(1, 1.0)]) == 0.75
+        assert average_reliability([]) == 0.0
+
+    def test_atomic_fraction(self):
+        summaries = [summary(0, 1.0), summary(1, 0.99), summary(2, 1.0)]
+        assert atomic_fraction(summaries) == pytest.approx(2 / 3)
+        assert atomic_fraction([]) == 0.0
+
+    def test_max_hops_mean(self):
+        summaries = [summary(0, 1.0, hops=8), summary(1, 1.0, hops=12)]
+        assert max_hops(summaries) == 10.0
+
+    def test_redundancy_ratio(self):
+        summaries = [summary(0, 1.0, delivered=100, redundant=50)]
+        assert redundancy_ratio(summaries) == 0.5
+        assert redundancy_ratio([]) == 0.0
+
+
+class TestHealingCycles:
+    def test_immediate_recovery(self):
+        assert healing_cycles(0.99, [1.0, 1.0]) == 1
+
+    def test_delayed_recovery(self):
+        assert healing_cycles(0.9, [0.2, 0.5, 0.91]) == 3
+
+    def test_never_recovers(self):
+        assert healing_cycles(0.99, [0.5, 0.6, 0.7]) is None
+
+    def test_tolerance(self):
+        assert healing_cycles(0.99, [0.985], tolerance=0.01) == 1
+        assert healing_cycles(0.99, [0.985], tolerance=0.001) is None
+
+    def test_empty_window(self):
+        assert healing_cycles(0.5, []) is None

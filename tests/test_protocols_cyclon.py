@@ -1,0 +1,183 @@
+"""Tests for the Cyclon baseline (aged view, oldest-peer shuffle, joins)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.ids import NodeId
+from repro.experiments.params import ExperimentParams
+from repro.experiments.scenario import Scenario
+from repro.protocols.cyclon import AgedView, CyclonConfig
+
+
+def nid(i):
+    return NodeId(f"n{i}", 1)
+
+
+class TestAgedView:
+    def test_add_remove_age(self):
+        view = AgedView(3)
+        view.add(nid(1), age=2)
+        assert nid(1) in view
+        assert view.age_of(nid(1)) == 2
+        assert view.remove(nid(1)) == 2
+        assert nid(1) not in view
+
+    def test_duplicate_and_overflow_rejected(self):
+        view = AgedView(1)
+        view.add(nid(1))
+        with pytest.raises(ProtocolError):
+            view.add(nid(1))
+        with pytest.raises(ProtocolError):
+            view.add(nid(2))
+
+    def test_age_of_missing_raises(self):
+        with pytest.raises(ProtocolError):
+            AgedView(2).age_of(nid(1))
+
+    def test_increment_ages(self):
+        view = AgedView(3)
+        view.add(nid(1), age=0)
+        view.add(nid(2), age=5)
+        view.increment_ages()
+        assert view.age_of(nid(1)) == 1
+        assert view.age_of(nid(2)) == 6
+
+    def test_oldest(self):
+        view = AgedView(3)
+        assert view.oldest() is None
+        view.add(nid(1), age=1)
+        view.add(nid(2), age=9)
+        view.add(nid(3), age=4)
+        assert view.oldest() == nid(2)
+
+    def test_oldest_tie_break_deterministic(self):
+        view = AgedView(3)
+        view.add(nid(2), age=5)
+        view.add(nid(1), age=5)
+        assert view.oldest() == view.oldest()
+
+    def test_sampling(self):
+        view = AgedView(10)
+        for i in range(6):
+            view.add(nid(i), age=i)
+        rng = random.Random(0)
+        entries = view.sample_entries(rng, 3)
+        assert len(entries) == 3
+        assert all(view.age_of(node) == age for node, age in entries)
+        members = view.sample_members(rng, 99, exclude=(nid(0),))
+        assert nid(0) not in members
+        assert len(members) == 5
+
+
+def cyclon_scenario(n=150, cycles=15, seed=42):
+    params = ExperimentParams.scaled(n, seed=seed, stabilization_cycles=cycles)
+    scenario = Scenario("cyclon", params)
+    scenario.build_overlay()
+    return scenario
+
+
+class TestJoin:
+    def test_join_through_self_rejected(self, world):
+        _, a = world.cyclon()
+        with pytest.raises(ProtocolError):
+            a.join(a.address)
+
+    def test_bootstrap_pair(self, world):
+        (_, a), (_, b) = world.cyclon(), world.cyclon()
+        b.join(a.address)
+        world.drain()
+        assert b.address in a.view
+        assert a.address in b.view
+
+    def test_views_fill_during_sequential_joins(self):
+        scenario = cyclon_scenario(100)
+        sizes = [len(scenario.membership(n).view) for n in scenario.node_ids]
+        view_size = scenario.params.cyclon.view_size
+        assert sum(sizes) / len(sizes) > 0.8 * view_size
+
+    def test_overlay_connected_after_joins(self):
+        scenario = cyclon_scenario(100)
+        assert scenario.snapshot().is_connected()
+
+
+class TestShuffle:
+    def test_shuffle_ages_entries(self, world):
+        (_, a), (_, b) = world.cyclon(), world.cyclon()
+        b.join(a.address)
+        world.drain()
+        age_before = a.view.age_of(b.address) if b.address in a.view else None
+        a.cycle()
+        world.drain()
+        # b was the oldest (only) entry: it was removed and has answered,
+        # so a's view now holds a fresh entry for b.
+        assert b.address in a.view or age_before is not None
+
+    def test_shuffle_removes_unresponsive_oldest(self, world):
+        (na, a), (nb, b) = world.cyclon(), world.cyclon()
+        b.join(a.address)
+        world.drain()
+        world.network.fail(nb.node_id)
+        a.cycle()
+        world.drain()
+        assert b.address not in a.view  # removed up front; no reply re-adds
+
+    def test_shuffle_exchange_preserves_capacity(self):
+        scenario = cyclon_scenario(80, cycles=10)
+        scenario.run_cycles(10)
+        for node_id in scenario.node_ids:
+            view = scenario.membership(node_id).view
+            assert len(view) <= view.capacity
+
+    def test_no_self_entries_ever(self):
+        scenario = cyclon_scenario(80, cycles=10)
+        scenario.run_cycles(10)
+        for node_id in scenario.node_ids:
+            assert node_id not in scenario.membership(node_id).view
+
+    def test_view_sizes_stay_full_during_stabilization(self):
+        scenario = cyclon_scenario(100, cycles=10)
+        scenario.run_cycles(10)
+        view_size = scenario.params.cyclon.view_size
+        sizes = [len(scenario.membership(n).view) for n in scenario.node_ids]
+        assert min(sizes) >= view_size - 2
+
+    def test_connectivity_maintained_through_cycles(self):
+        scenario = cyclon_scenario(100, cycles=10)
+        scenario.run_cycles(10)
+        assert scenario.snapshot().largest_component_fraction() > 0.99
+
+    def test_ages_bounded_by_shuffle_refresh(self):
+        """The oldest-peer policy keeps entry ages from growing without
+        bound.  An entry handed over mid-round is aged by both holders in
+        the same cycle, so the bound is ~2x the cycle count, not exact."""
+        scenario = cyclon_scenario(60, cycles=8)
+        scenario.run_cycles(8)
+        for node_id in scenario.node_ids:
+            view = scenario.membership(node_id).view
+            for _node, age in view.entries():
+                assert age <= 2 * 8
+
+
+class TestPeerSampling:
+    def test_gossip_targets_sample_from_view(self, world):
+        protocols = [world.cyclon()[1] for _ in range(5)]
+        world.join_chain(protocols)
+        a = protocols[0]
+        targets = a.gossip_targets(3)
+        assert len(targets) <= 3
+        assert set(targets) <= set(a.view.members())
+
+    def test_plain_cyclon_ignores_failure_reports(self, world):
+        (_, a), (_, b) = world.cyclon(), world.cyclon()
+        b.join(a.address)
+        world.drain()
+        a.report_failure(b.address)
+        assert b.address in a.view  # deliberately not removed
+
+    def test_out_neighbors_match_view(self, world):
+        (_, a), (_, b) = world.cyclon(), world.cyclon()
+        b.join(a.address)
+        world.drain()
+        assert a.out_neighbors() == a.view.members()

@@ -1,0 +1,195 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Engine, PeriodicTask
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3.0, fired.append, "c")
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(2.0, fired.append, "b")
+        engine.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        engine = Engine()
+        fired = []
+        for label in "abcde":
+            engine.schedule(1.0, fired.append, label)
+        engine.run_until_idle()
+        assert fired == list("abcde")
+
+    def test_time_advances_to_event_timestamps(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(2.5, lambda: seen.append(engine.now))
+        engine.schedule(7.25, lambda: seen.append(engine.now))
+        engine.run_until_idle()
+        assert seen == [2.5, 7.25]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            engine.schedule(1.0, lambda: fired.append("inner"))
+
+        engine.schedule(1.0, outer)
+        engine.run_until_idle()
+        assert fired == ["outer", "inner"]
+        assert engine.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), max_size=50))
+    def test_firing_order_is_sorted_property(self, delays):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            engine.schedule(delay, lambda d=delay: fired.append(d))
+        engine.run_until_idle()
+        assert fired == sorted(delays)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        assert handle.cancelled
+        engine.run_until_idle()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run_until_idle()
+        handle.cancel()  # must not raise
+
+    def test_cancelled_events_do_not_count_as_fired(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert engine.run_until_idle() == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_deadline(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(5.0, fired.append, "b")
+        engine.run_until(3.0)
+        assert fired == ["a"]
+        assert engine.now == 3.0
+        engine.run_until_idle()
+        assert fired == ["a", "b"]
+
+    def test_run_until_inclusive_of_boundary(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3.0, fired.append, "edge")
+        engine.run_until(3.0)
+        assert fired == ["edge"]
+
+    def test_run_until_past_deadline_rejected(self):
+        engine = Engine(start_time=5.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0)
+
+    def test_run_for(self):
+        engine = Engine()
+        engine.run_for(10.0)
+        assert engine.now == 10.0
+
+
+class TestRunawayGuard:
+    def test_max_events_guard_trips(self):
+        engine = Engine()
+
+        def rescheduler():
+            engine.schedule(0.1, rescheduler)
+
+        engine.schedule(0.1, rescheduler)
+        with pytest.raises(SimulationError):
+            engine.run_until_idle(max_events=100)
+
+    def test_processed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run_until_idle()
+        assert engine.processed == 5
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        engine = Engine()
+        ticks = []
+        task = PeriodicTask(engine, 1.0, lambda: ticks.append(engine.now))
+        task.start()
+        engine.run_until(5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop_halts_ticks(self):
+        engine = Engine()
+        ticks = []
+        task = PeriodicTask(engine, 1.0, lambda: ticks.append(engine.now))
+        task.start()
+        engine.run_until(2.5)
+        task.stop()
+        engine.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_jitter_delays_first_tick(self):
+        engine = Engine()
+        ticks = []
+        task = PeriodicTask(engine, 1.0, lambda: ticks.append(engine.now), jitter=0.5)
+        task.start()
+        engine.run_until(2.0)
+        assert ticks == [1.5]
+
+    def test_callback_may_stop_task(self):
+        engine = Engine()
+        ticks = []
+
+        def tick():
+            ticks.append(engine.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = PeriodicTask(engine, 1.0, tick)
+        task.start()
+        engine.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicTask(Engine(), 0.0, lambda: None)
+
+    def test_double_start_is_noop(self):
+        engine = Engine()
+        ticks = []
+        task = PeriodicTask(engine, 1.0, lambda: ticks.append(1))
+        task.start()
+        task.start()
+        engine.run_until(1.5)
+        assert ticks == [1]

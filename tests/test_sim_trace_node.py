@@ -1,0 +1,112 @@
+"""Tests for event tracing and the SimNode protocol container."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.ids import NodeId
+from repro.common.messages import Message, register_message
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.node import SimNode
+from repro.sim.trace import EventTrace
+
+
+@register_message("test.alpha")
+@dataclass(frozen=True, slots=True)
+class Alpha(Message):
+    value: int
+
+
+@register_message("test.beta")
+@dataclass(frozen=True, slots=True)
+class Beta(Message):
+    value: int
+
+
+class TestEventTrace:
+    def test_record_and_filter(self):
+        trace = EventTrace()
+        a, b = NodeId("a", 1), NodeId("b", 1)
+        trace.record(0.0, "send", a, b, Alpha(1))
+        trace.record(0.1, "deliver", a, b, Alpha(1))
+        trace.record(0.2, "send", b, a, Beta(2))
+        assert len(trace) == 3
+        assert len(trace.of_kind("send")) == 2
+        assert len(trace.messages_of_type("Alpha")) == 2
+        assert trace.counts_by_type() == {"Alpha": 1, "Beta": 1}
+
+    def test_bounded_memory(self):
+        trace = EventTrace(limit=10)
+        a = NodeId("a", 1)
+        for i in range(25):
+            trace.record(float(i), "send", a, a, Alpha(i))
+        assert len(trace) <= 10
+        assert trace.dropped_records > 0
+        # newest records survive
+        assert list(trace)[-1].time == 24.0
+
+    def test_clear(self):
+        trace = EventTrace()
+        trace.record(0.0, "send", None, None, None)
+        trace.clear()
+        assert len(trace) == 0
+
+
+class FakeProtocol:
+    def __init__(self):
+        self.alphas = []
+
+    def handlers(self):
+        return {Alpha: self.alphas.append}
+
+
+class TestSimNode:
+    def make(self):
+        engine = Engine()
+        network = Network(engine)
+        return engine, network, SimNode(NodeId("n", 1), network)
+
+    def test_wire_registers_handlers(self):
+        engine, network, node = self.make()
+        protocol = node.wire("proto", FakeProtocol())
+        node.deliver(Alpha(1))
+        assert protocol.alphas == [Alpha(1)]
+        assert node.protocol("proto") is protocol
+        assert node.has_protocol("proto")
+
+    def test_duplicate_slot_rejected(self):
+        engine, network, node = self.make()
+        node.attach("proto", object())
+        with pytest.raises(SimulationError):
+            node.attach("proto", object())
+
+    def test_duplicate_handler_rejected(self):
+        engine, network, node = self.make()
+        node.register_handler(Alpha, lambda m: None)
+        with pytest.raises(SimulationError):
+            node.register_handler(Alpha, lambda m: None)
+
+    def test_missing_protocol_raises(self):
+        engine, network, node = self.make()
+        with pytest.raises(SimulationError):
+            node.protocol("nope")
+
+    def test_unhandled_counted_not_fatal(self):
+        engine, network, node = self.make()
+        node.deliver(Beta(1))
+        assert node.unhandled == 1
+
+    def test_host_rng_streams_isolated_per_purpose(self):
+        engine, network, node = self.make()
+        host_a = node.host("membership")
+        host_b = node.host("gossip")
+        assert host_a.rng.random() != host_b.rng.random()
+        assert host_a.address == node.node_id
+
+    def test_alive_tracks_network(self):
+        engine, network, node = self.make()
+        assert node.alive
+        network.fail(node.node_id)
+        assert not node.alive
