@@ -3,45 +3,9 @@
 Section 6: "we would like to experiment ... the relation between the
 passive view size and the resilience level of the protocol (i.e. how many
 failures are supported without the overlay becoming disconnected)".
-
-Sweep the passive capacity at a heavy failure level and measure recovered
-reliability and post-repair connectivity.
+Registry scenario: ``ablation_passive_size``.
 """
 
-from conftest import run_once
 
-from repro.experiments.ablations import default_passive_sizes, run_passive_size_ablation
-from repro.experiments.reporting import format_table
-
-FAILURE = 0.8
-
-
-def bench_ablation_passive_view_size(benchmark, params, emit):
-    sizes = default_passive_sizes(params.hyparview)
-
-    def experiment():
-        return run_passive_size_ablation(
-            params, sizes, failure_fraction=FAILURE, messages=50
-        )
-
-    points = run_once(benchmark, experiment)
-    emit(
-        "ablation_passive_size",
-        format_table(
-            ["passive capacity", "avg reliability", "tail reliability", "largest component"],
-            [
-                [p.passive_capacity, p.average_reliability, p.tail_reliability,
-                 p.largest_component_fraction]
-                for p in points
-            ],
-            title=(
-                f"Ablation — passive view size vs resilience at {FAILURE:.0%} failures "
-                f"(n={params.n})"
-            ),
-        ),
-    )
-    # Larger passive views must not hurt, and the paper-sized view should
-    # clearly beat a starved one on recovered reliability.
-    smallest, largest = points[0], points[-1]
-    assert largest.tail_reliability >= smallest.tail_reliability - 0.02
-    assert largest.largest_component_fraction >= smallest.largest_component_fraction - 0.02
+def bench_ablation_passive_view_size(benchmark, bench_scenario):
+    bench_scenario(benchmark, "ablation_passive_size", messages=50)

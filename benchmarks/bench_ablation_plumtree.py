@@ -4,64 +4,9 @@ Plumtree is the dissemination protocol HyParView was designed to carry.
 After the tree converges, each broadcast sends ~n-1 payloads (tree edges)
 plus id-only IHAVE advertisements, instead of the flood's ~sum-of-view-
 sizes payload copies; reliability stays atomic on a stable overlay.
+Registry scenario: ``ablation_plumtree``.
 """
 
-from conftest import run_once
 
-from repro.experiments.scenario import Scenario
-from repro.experiments.reporting import format_table
-from repro.metrics.reliability import average_reliability
-
-WARMUP = 5
-MEASURED = 20
-
-
-def _payloads(scenario, type_name, action):
-    before = scenario.network.stats.messages_by_type.get(type_name, 0)
-    result = action()
-    after = scenario.network.stats.messages_by_type.get(type_name, 0)
-    return result, after - before
-
-
-def bench_ablation_plumtree_vs_flood(benchmark, params, emit):
-    def experiment():
-        rows = {}
-        for protocol, payload_type in (("hyparview", "GossipData"), ("plumtree", "PlumtreeGossip")):
-            scenario = Scenario(protocol, params)
-            scenario.build_overlay()
-            scenario.stabilize()
-            scenario.send_broadcasts(WARMUP)  # converge the tree / no-op for flood
-            summaries, payloads = _payloads(
-                scenario, payload_type, lambda s=scenario: s.send_broadcasts(MEASURED)
-            )
-            control = scenario.network.stats.messages_by_type.get("PlumtreeIHave", 0)
-            rows[protocol] = {
-                "reliability": average_reliability(summaries),
-                "payloads_per_broadcast": payloads / MEASURED,
-                "ihave_total": control if protocol == "plumtree" else 0,
-            }
-        return rows
-
-    rows = run_once(benchmark, experiment)
-    emit(
-        "ablation_plumtree",
-        format_table(
-            ["layer", "avg reliability", "payload msgs / broadcast", "n"],
-            [
-                ["flood", rows["hyparview"]["reliability"],
-                 rows["hyparview"]["payloads_per_broadcast"], params.n],
-                ["plumtree", rows["plumtree"]["reliability"],
-                 rows["plumtree"]["payloads_per_broadcast"], params.n],
-            ],
-            title="Ablation — Plumtree payload savings vs flood (stable overlay)",
-        ),
-    )
-    # Both atomic on a stable overlay; Plumtree sends far fewer payloads.
-    assert rows["hyparview"]["reliability"] == 1.0
-    assert rows["plumtree"]["reliability"] == 1.0
-    assert (
-        rows["plumtree"]["payloads_per_broadcast"]
-        < 0.6 * rows["hyparview"]["payloads_per_broadcast"]
-    )
-    # The tree converges to roughly n-1 payload transmissions.
-    assert rows["plumtree"]["payloads_per_broadcast"] < 1.25 * params.n
+def bench_ablation_plumtree_vs_flood(benchmark, bench_scenario):
+    bench_scenario(benchmark, "ablation_plumtree", messages=20)

@@ -7,59 +7,14 @@
   a dead peer, the payload is retransmitted towards the repaired active
   view.  The bench quantifies reliability gained vs. extra traffic during
   the repair transient.
+
+Registry scenarios: ``ablation_shuffle_ttl`` and ``ablation_flood_resend``.
 """
 
-from conftest import run_once
 
-from repro.experiments.ablations import run_resend_ablation, run_shuffle_ttl_ablation
-from repro.experiments.reporting import format_table
-
-TTLS = (1, 3, 6, 9)
+def bench_ablation_shuffle_ttl(benchmark, bench_scenario):
+    bench_scenario(benchmark, "ablation_shuffle_ttl", messages=30)
 
 
-def bench_ablation_shuffle_ttl(benchmark, params, emit):
-    def experiment():
-        return run_shuffle_ttl_ablation(params, TTLS, failure_fraction=0.6, messages=30)
-
-    points = run_once(benchmark, experiment)
-    emit(
-        "ablation_shuffle_ttl",
-        format_table(
-            ["shuffle TTL", "avg clustering", "passive in-degree CV", "recovery avg"],
-            [
-                [p.shuffle_ttl, p.average_clustering, p.passive_balance,
-                 p.recovery_average]
-                for p in points
-            ],
-            title=f"Ablation — shuffle walk TTL (n={params.n}, 60% failures)",
-        ),
-    )
-    # Any TTL must keep the passive view usable enough to recover most of
-    # the overlay; the sweep is reported for inspection.
-    for point in points:
-        assert point.recovery_average > 0.5
-        assert point.passive_balance < 2.0  # representation stays bounded
-
-
-def bench_ablation_flood_resend(benchmark, params, emit):
-    def experiment():
-        return run_resend_ablation(params, failure_fraction=0.8, messages=50)
-
-    points = run_once(benchmark, experiment)
-    baseline = next(p for p in points if not p.resend_on_repair)
-    resend = next(p for p in points if p.resend_on_repair)
-    emit(
-        "ablation_flood_resend",
-        format_table(
-            ["resend on repair", "avg reliability", "first-10 avg", "payload transmissions"],
-            [
-                [str(p.resend_on_repair), p.average_reliability, p.first10_average,
-                 p.data_transmissions]
-                for p in points
-            ],
-            title=f"Ablation — flood resend extension at 80% failures (n={params.n})",
-        ),
-    )
-    # The extension buys transient reliability with extra payload traffic.
-    assert resend.first10_average >= baseline.first10_average - 0.02
-    assert resend.data_transmissions >= baseline.data_transmissions
+def bench_ablation_flood_resend(benchmark, bench_scenario):
+    bench_scenario(benchmark, "ablation_flood_resend", messages=50)

@@ -5,53 +5,10 @@ Interleaves crashes, graceful leaves and fresh-process revivals with a
 probe broadcast after every event.  HyParView's reactive repair plus the
 passive-view candidate pool should keep reliability essentially flat —
 this is the operating regime Partisan/libp2p adopted the protocol for.
+Registry scenario: ``churn``.
 """
 
-from conftest import run_once
 
-from repro.experiments.churn import run_churn_experiment
-from repro.experiments.reporting import format_table, sparkline
-
-STEPS = 80
-
-
-def bench_churn_hyparview_vs_acked(benchmark, cache, params, emit):
-    def experiment():
-        return {
-            protocol: run_churn_experiment(
-                protocol, params, steps=STEPS, base=cache.base(protocol)
-            )
-            for protocol in ("hyparview", "cyclon-acked")
-        }
-
-    results = run_once(benchmark, experiment)
-    rows = []
-    for protocol, result in results.items():
-        rows.append(
-            [
-                protocol,
-                result.average,
-                result.crashes,
-                result.leaves,
-                result.revives,
-                result.final_largest_component,
-                result.stale_active_entries,
-            ]
-        )
-    blocks = [
-        format_table(
-            ["protocol", "avg reliability", "crashes", "leaves", "revives",
-             "largest component", "stale entries"],
-            rows,
-            title=f"Churn — {STEPS} events with probe broadcasts (n={params.n})",
-        )
-    ]
-    for protocol, result in results.items():
-        blocks.append(f"{protocol:13s} {sparkline(result.series)}")
-    emit("churn", "\n".join(blocks))
-
-    hyparview = results["hyparview"]
-    assert hyparview.average > 0.97
-    assert hyparview.final_largest_component > 0.97
-    assert hyparview.stale_active_entries <= 3
-    assert hyparview.average >= results["cyclon-acked"].average - 0.01
+def bench_churn_hyparview_vs_acked(benchmark, bench_scenario):
+    # 80 events (the harness's historical scale); the paper tier runs 200.
+    bench_scenario(benchmark, "churn", messages=1, extra={"steps": 80})

@@ -2,43 +2,10 @@
 
 Paper (Section 3.2, Cyclon and Scamp, no membership cycles): reliability
 collapses — no message reaches more than ~85% of the survivors and many
-reach far fewer.  This is the motivating plot for HyParView.
+reach far fewer.  This is the motivating plot for HyParView.  Registry
+scenario: ``fig1c_failure50``.
 """
 
-from conftest import run_once
 
-from repro.experiments.failures import run_failure_experiment
-from repro.experiments.reporting import format_series, format_table, sparkline
-
-
-def bench_fig1c_failure50(benchmark, cache, params, emit):
-    def experiment():
-        return {
-            protocol: run_failure_experiment(
-                protocol, params, 0.5, messages=100, base=cache.base(protocol)
-            )
-            for protocol in ("cyclon", "scamp")
-        }
-
-    results = run_once(benchmark, experiment)
-    blocks = [
-        format_table(
-            ["protocol", "avg reliability", "max msg reliability", "atomic fraction"],
-            [
-                [r.protocol, r.average, max(r.series), r.atomic]
-                for r in results.values()
-            ],
-            title=f"Figure 1c — 100 msgs after 50% failures (n={params.n})",
-        )
-    ]
-    for result in results.values():
-        blocks.append(f"\n{result.protocol} series:  {sparkline(result.series)}")
-        blocks.append(format_series(result.series))
-    emit("fig1c_failure50", "\n".join(blocks))
-
-    # Paper shape: reliability is lost — neither baseline approaches 1.0,
-    # and many messages die early (min far below the mean).
-    for result in results.values():
-        assert max(result.series) < 0.999
-        assert result.atomic == 0.0
-        assert min(result.series) < 0.5
+def bench_fig1c_failure50(benchmark, bench_scenario):
+    bench_scenario(benchmark, "fig1c_failure50", messages=100)

@@ -3,75 +3,18 @@
 Paper (Section 3.1, 10 000 nodes, 50 messages): Cyclon needs fanout 5 for
 >99% and 6 for ~99.9%; Scamp needs 6 to cross 99%.  HyParView's flood over
 a fanout-4-sized active view delivers 100% — its reference point is
-printed for comparison.
+printed for comparison.  Experiment logic and shape checks live in the
+scenario registry (``repro.experiments.registry``).
 """
 
-from conftest import run_once
 
-from repro.experiments.fanout import (
-    FIGURE1_FANOUTS,
-    hyparview_reference_point,
-    run_fanout_sweep,
-)
-from repro.experiments.reporting import format_table
+def bench_fig1a_cyclon_fanout(benchmark, bench_scenario):
+    bench_scenario(benchmark, "fig1a_cyclon_fanout", messages=50)
 
 
-def _sweep(cache, params, protocol, messages):
-    return run_fanout_sweep(
-        protocol, FIGURE1_FANOUTS, params, messages=messages, base=cache.base(protocol)
-    )
+def bench_fig1b_scamp_fanout(benchmark, bench_scenario):
+    bench_scenario(benchmark, "fig1b_scamp_fanout", messages=50)
 
 
-def bench_fig1a_cyclon_fanout(benchmark, cache, params, emit):
-    points = run_once(benchmark, lambda: _sweep(cache, params, "cyclon", 50))
-    rows = [
-        [p.fanout, p.average_reliability, p.min_reliability, p.atomic_fraction] for p in points
-    ]
-    emit(
-        "fig1a_cyclon_fanout",
-        format_table(
-            ["fanout", "avg reliability", "min reliability", "atomic fraction"],
-            rows,
-            title=f"Figure 1a — Cyclon fanout sweep (n={params.n}, 50 msgs)",
-        ),
-    )
-    by_fanout = {p.fanout: p.average_reliability for p in points}
-    # Shape assertions: monotone-ish growth, high reliability by fanout ~5-6.
-    assert by_fanout[1] < by_fanout[4] <= by_fanout[8] + 1e-9
-    assert by_fanout[6] > 0.99
-
-
-def bench_fig1b_scamp_fanout(benchmark, cache, params, emit):
-    points = run_once(benchmark, lambda: _sweep(cache, params, "scamp", 50))
-    rows = [
-        [p.fanout, p.average_reliability, p.min_reliability, p.atomic_fraction] for p in points
-    ]
-    emit(
-        "fig1b_scamp_fanout",
-        format_table(
-            ["fanout", "avg reliability", "min reliability", "atomic fraction"],
-            rows,
-            title=f"Figure 1b — Scamp fanout sweep (n={params.n}, 50 msgs)",
-        ),
-    )
-    by_fanout = {p.fanout: p.average_reliability for p in points}
-    assert by_fanout[1] < by_fanout[4]
-    assert by_fanout[6] > 0.95  # paper: Scamp crosses 99% at fanout 6 (10k)
-
-
-def bench_fig1_hyparview_reference(benchmark, cache, params, emit):
-    point = run_once(
-        benchmark,
-        lambda: hyparview_reference_point(params, messages=50, base=cache.base("hyparview")),
-    )
-    emit(
-        "fig1_hyparview_reference",
-        format_table(
-            ["protocol", "fanout", "avg reliability", "atomic fraction"],
-            [[point.protocol, point.fanout, point.average_reliability, point.atomic_fraction]],
-            title="Figure 1 reference — HyParView flood (stable overlay)",
-        ),
-    )
-    # The paper's headline: deterministic flooding is atomic while stable.
-    assert point.average_reliability == 1.0
-    assert point.atomic_fraction == 1.0
+def bench_fig1_hyparview_reference(benchmark, bench_scenario):
+    bench_scenario(benchmark, "fig1_hyparview_reference", messages=50)

@@ -5,64 +5,9 @@ failures have almost no visible impact on HyParView below 90%; at 95% it
 still delivers to ~90% of survivors.  Cyclon and Scamp degrade from the
 start and collapse above 50%; CyclonAcked is competitive up to ~70% but
 cannot match HyParView at 80%+ because its overlay is asymmetric.
+Registry scenario: ``fig2_reliability``.
 """
 
-from conftest import run_once
 
-from repro.experiments.failures import (
-    FIGURE2_FRACTIONS,
-    PAPER_PROTOCOLS,
-    run_failure_experiment,
-)
-from repro.experiments.reporting import format_table
-
-
-def bench_fig2_reliability_sweep(benchmark, cache, params, message_count, emit):
-    def experiment():
-        results = {}
-        for protocol in PAPER_PROTOCOLS:
-            base = cache.base(protocol)
-            for fraction in FIGURE2_FRACTIONS:
-                results[(protocol, fraction)] = run_failure_experiment(
-                    protocol, params, fraction, messages=message_count, base=base
-                )
-        return results
-
-    results = run_once(benchmark, experiment)
-
-    headers = ["failure %"] + list(PAPER_PROTOCOLS)
-    rows = []
-    for fraction in FIGURE2_FRACTIONS:
-        rows.append(
-            [f"{fraction:.0%}"]
-            + [results[(protocol, fraction)].average for protocol in PAPER_PROTOCOLS]
-        )
-    emit(
-        "fig2_reliability",
-        format_table(
-            headers,
-            rows,
-            title=(
-                f"Figure 2 — avg reliability of {message_count} msgs vs failure % "
-                f"(n={params.n})"
-            ),
-        ),
-    )
-
-    get = lambda protocol, fraction: results[(protocol, fraction)].average
-    # Paper shape 1: HyParView is essentially unaffected below 90%.
-    for fraction in (0.1, 0.3, 0.5, 0.7, 0.8):
-        assert get("hyparview", fraction) > 0.95
-    # Paper shape 2: HyParView still delivers to most survivors at 90-95%.
-    assert get("hyparview", 0.9) > 0.8
-    assert get("hyparview", 0.95) > 0.5
-    # Paper shape 3: protocol ordering after heavy failures.
-    for fraction in (0.5, 0.6, 0.7):
-        assert get("hyparview", fraction) >= get("cyclon-acked", fraction) - 0.02
-        assert get("cyclon-acked", fraction) > get("cyclon", fraction)
-        assert get("cyclon", fraction) > get("scamp", fraction) - 0.05
-    # Paper shape 4: baselines collapse above 50% while HyParView holds.
-    assert get("cyclon", 0.7) < 0.5
-    assert get("scamp", 0.7) < 0.5
-    # Paper shape 5: CyclonAcked cannot match HyParView at 80%.
-    assert get("hyparview", 0.8) - get("cyclon-acked", 0.8) > 0.2
+def bench_fig2_reliability_sweep(benchmark, bench_scenario):
+    bench_scenario(benchmark, "fig2_reliability")

@@ -3,59 +3,10 @@
 Paper (panels a-f: 20/40/60/70/80/95%): HyParView recovers almost
 immediately (every active view is tested by a single broadcast);
 CyclonAcked needs ~25 messages; Cyclon and Scamp do not recover without
-membership cycles.  Above 80% all curves start near 0%.
+membership cycles.  Above 80% all curves start near 0%.  Registry
+scenario: ``fig3_recovery``.
 """
 
-from conftest import run_once
 
-from repro.experiments.failures import (
-    FIGURE3_FRACTIONS,
-    PAPER_PROTOCOLS,
-    run_failure_experiment,
-)
-from repro.experiments.reporting import format_series, sparkline
-
-
-def bench_fig3_recovery_curves(benchmark, cache, params, message_count, emit):
-    def experiment():
-        results = {}
-        for protocol in PAPER_PROTOCOLS:
-            base = cache.base(protocol)
-            for fraction in FIGURE3_FRACTIONS:
-                results[(protocol, fraction)] = run_failure_experiment(
-                    protocol, params, fraction, messages=message_count, base=base
-                )
-        return results
-
-    results = run_once(benchmark, experiment)
-
-    blocks = [
-        f"Figure 3 — reliability per message after failures (n={params.n}, "
-        f"{message_count} msgs per panel)"
-    ]
-    for fraction in FIGURE3_FRACTIONS:
-        blocks.append(f"\n--- panel: {fraction:.0%} failures ---")
-        for protocol in PAPER_PROTOCOLS:
-            result = results[(protocol, fraction)]
-            blocks.append(
-                f"{protocol:13s} avg={result.average:.3f} "
-                f"tail10={result.tail_average(10):.3f}  {sparkline(result.series)}"
-            )
-        hv = results[("hyparview", fraction)]
-        blocks.append("hyparview series:")
-        blocks.append(format_series(hv.series))
-    emit("fig3_recovery", "\n".join(blocks))
-
-    # Paper shape: HyParView's healed tail is ~100% for panels <= 80%.
-    for fraction in (0.2, 0.4, 0.6, 0.7, 0.8):
-        assert results[("hyparview", fraction)].tail_average(10) > 0.95
-    # CyclonAcked recovers too (tail), but needs a few dozen messages: its
-    # average trails its own tail at heavy failure levels.
-    acked_80 = results[("cyclon-acked", 0.8)]
-    assert acked_80.tail_average(10) > acked_80.average
-    # Plain Cyclon/Scamp do not recover within the batch at 60%+.
-    assert results[("cyclon", 0.6)].tail_average(10) < 0.9
-    assert results[("scamp", 0.6)].tail_average(10) < 0.9
-    # Above 80%: early messages near zero for every protocol.
-    for protocol in PAPER_PROTOCOLS:
-        assert results[(protocol, 0.95)].series[0] < 0.3
+def bench_fig3_recovery_curves(benchmark, bench_scenario):
+    bench_scenario(benchmark, "fig3_recovery")

@@ -4,75 +4,10 @@ Paper (Section 5.3): after failures, count membership cycles (each probed
 by 10 broadcasts) until reliability returns to the protocol's own
 pre-failure level.  HyParView needs 1-2 cycles below 80% (and "as few as
 4" at 90%); Cyclon grows almost linearly with the failure percentage;
-Scamp is excluded (healing depends on the lease time).
+Scamp is excluded (healing depends on the lease time).  Registry
+scenario: ``fig4_healing``.
 """
 
-from conftest import run_once
 
-from repro.experiments.healing import (
-    FIGURE4_FRACTIONS,
-    FIGURE4_PROTOCOLS,
-    run_healing_experiment,
-)
-from repro.experiments.reporting import format_table
-
-MAX_CYCLES = 30
-
-
-def bench_fig4_healing_time(benchmark, cache, params, emit):
-    def experiment():
-        results = {}
-        for protocol in FIGURE4_PROTOCOLS:
-            base = cache.base(protocol)
-            for fraction in FIGURE4_FRACTIONS:
-                # At laptop scale a couple of survivors can end up with no
-                # live passive entries and nobody holding their id — at the
-                # paper's 10 000 nodes that is a <0.1% effect, here it
-                # would dominate the tolerance.  Allow two such stragglers.
-                survivors = max(1, round(params.n * (1 - fraction)))
-                tolerance = max(0.01, 2.0 / survivors)
-                results[(protocol, fraction)] = run_healing_experiment(
-                    protocol,
-                    params,
-                    fraction,
-                    probes_per_cycle=10,
-                    max_cycles=MAX_CYCLES,
-                    tolerance=tolerance,
-                    base=base,
-                )
-        return results
-
-    results = run_once(benchmark, experiment)
-
-    headers = ["failure %"] + [
-        f"{protocol} (cycles)" for protocol in FIGURE4_PROTOCOLS
-    ]
-    rows = []
-    for fraction in FIGURE4_FRACTIONS:
-        row = [f"{fraction:.0%}"]
-        for protocol in FIGURE4_PROTOCOLS:
-            healed = results[(protocol, fraction)].cycles_to_heal
-            row.append(str(healed) if healed is not None else f">{MAX_CYCLES}")
-        rows.append(row)
-    emit(
-        "fig4_healing",
-        format_table(
-            headers,
-            rows,
-            title=f"Figure 4 — membership cycles to regain pre-failure reliability (n={params.n})",
-        ),
-    )
-
-    def healed(protocol, fraction):
-        value = results[(protocol, fraction)].cycles_to_heal
-        return value if value is not None else MAX_CYCLES + 1
-
-    # Paper shape 1: HyParView heals in 1-2 cycles below 80%.
-    for fraction in (0.1, 0.3, 0.5, 0.7):
-        assert healed("hyparview", fraction) <= 2
-    # Paper headline: ~4 cycles even at 90%.
-    assert healed("hyparview", 0.9) <= 6
-    # Paper shape 2: Cyclon's healing grows with the failure level and is
-    # far slower than HyParView at heavy failure rates.
-    assert healed("cyclon", 0.8) > healed("cyclon", 0.2)
-    assert healed("cyclon", 0.8) > 4 * healed("hyparview", 0.8)
+def bench_fig4_healing_time(benchmark, bench_scenario):
+    bench_scenario(benchmark, "fig4_healing", messages=10)

@@ -3,54 +3,13 @@
 Paper: Cyclon and Scamp spread in-degrees across a wide range (some nodes
 extremely popular, others almost unknown — Scamp even has nodes known by a
 single other node), while HyParView's symmetric active view concentrates
-almost every node at exactly the active-view size (5).
+almost every node at exactly the active-view size (5).  Registry
+scenario: ``fig5_indegree``.
 """
 
-from conftest import run_once
 
-from repro.experiments.graphprops import TABLE1_PROTOCOLS, run_graph_properties
-from repro.experiments.reporting import format_histogram, format_table
-
-
-def bench_fig5_indegree_distribution(benchmark, cache, params, emit):
-    def experiment():
-        return {
-            protocol: run_graph_properties(
-                protocol, params, messages=5, path_sample_sources=20,
-                base=cache.base(protocol),
-            )
-            for protocol in TABLE1_PROTOCOLS
-        }
-
-    results = run_once(benchmark, experiment)
-
-    blocks = [f"Figure 5 — in-degree distribution after stabilisation (n={params.n})"]
-    summary_rows = []
-    for protocol in TABLE1_PROTOCOLS:
-        r = results[protocol]
-        stats = r.in_degree_stats
-        summary_rows.append(
-            [protocol, stats.mean, stats.stddev, stats.minimum, stats.maximum]
-        )
-        blocks.append("")
-        blocks.append(format_histogram(r.in_degree_histogram, title=f"{protocol}:"))
-    blocks.insert(
-        1,
-        format_table(
-            ["protocol", "mean", "stddev", "min", "max"],
-            summary_rows,
-            title="in-degree summary",
-        ),
-    )
-    emit("fig5_indegree", "\n".join(blocks))
-
-    hv, cy, sc = (results[p] for p in ("hyparview", "cyclon", "scamp"))
-    capacity = params.hyparview.active_view_capacity
-    # Shape 1: HyParView concentrates at the active view size.
-    at_capacity = hv.in_degree_histogram.get(capacity, 0)
-    assert at_capacity / params.n > 0.75
-    assert hv.in_degree_stats.maximum <= capacity  # symmetric views bound it
-    # Shape 2: baselines spread over a wide range.
-    assert cy.in_degree_stats.stddev > 3 * hv.in_degree_stats.stddev
-    assert sc.in_degree_stats.stddev > 3 * hv.in_degree_stats.stddev
-    assert cy.in_degree_stats.maximum > 1.3 * cy.in_degree_stats.mean
+def bench_fig5_indegree_distribution(benchmark, bench_scenario):
+    # 20 sampled BFS sources (the harness's historical scale) — the degree
+    # histogram does not need the paper tier's 100-source path analysis.
+    bench_scenario(benchmark, "fig5_indegree", messages=5,
+                   extra={"path_sample_sources": 20})

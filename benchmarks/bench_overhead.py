@@ -2,63 +2,10 @@
 
 Answers the paper's future-work question at the protocol level: what does
 HyParView's maintenance cost per node per cycle, and what does each
-broadcast cost, compared with the baselines and with Plumtree?
+broadcast cost, compared with the baselines and with Plumtree?  Registry
+scenario: ``overhead``.
 """
 
-from conftest import run_once
 
-from repro.experiments.overhead import run_overhead_experiment
-from repro.experiments.reporting import format_table
-
-PROTOCOLS = ("hyparview", "plumtree", "cyclon", "cyclon-acked", "scamp")
-
-
-def bench_overhead_accounting(benchmark, cache, params, emit):
-    def experiment():
-        return {
-            protocol: run_overhead_experiment(
-                protocol, params, cycles=10, messages=20, base=cache.base(protocol)
-            )
-            for protocol in PROTOCOLS
-        }
-
-    results = run_once(benchmark, experiment)
-    rows = [
-        [
-            protocol,
-            r.control_per_node_cycle,
-            r.data_per_broadcast,
-            r.broadcast_control_per_broadcast,
-        ]
-        for protocol, r in results.items()
-    ]
-    breakdown_lines = []
-    for protocol, r in results.items():
-        top = sorted(r.control_breakdown.items(), key=lambda kv: -kv[1])[:4]
-        rendered = ", ".join(f"{name}={count}" for name, count in top)
-        breakdown_lines.append(f"  {protocol:13s} {rendered}")
-    emit(
-        "overhead",
-        format_table(
-            ["protocol", "control msgs/node/cycle", "data msgs/broadcast",
-             "control msgs/broadcast"],
-            rows,
-            title=f"Message overhead on a stable overlay (n={params.n})",
-        )
-        + "\ncycle-phase control breakdown (top types):\n"
-        + "\n".join(breakdown_lines),
-    )
-
-    hv = results["hyparview"]
-    cy = results["cyclon"]
-    pt = results["plumtree"]
-    # HyParView's cycle cost is the shuffle walk (TTL hops + reply) plus a
-    # small amount of promotion polling from nodes with a standing slot
-    # deficit (the Section 4.3 retry loop).  Cyclon pays exactly 2.
-    walk_cost = params.hyparview.effective_shuffle_ttl + 1
-    assert hv.control_per_node_cycle < walk_cost + 5
-    assert cy.control_per_node_cycle <= 2.5
-    # Stable flood sends ~2x edges copies; Plumtree converges to ~n-1.
-    assert pt.data_per_broadcast < 0.6 * hv.data_per_broadcast
-    # A stable flood needs no repair traffic during broadcasts.
-    assert hv.broadcast_control_per_broadcast < 1.0
+def bench_overhead_accounting(benchmark, bench_scenario):
+    bench_scenario(benchmark, "overhead", messages=20)

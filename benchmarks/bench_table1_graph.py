@@ -11,64 +11,9 @@ Paper (10 000 nodes):
 Shapes to reproduce: HyParView's clustering is an order of magnitude below
 the baselines'; its shortest path is the *longest* (tiny active view) yet
 its delivery hop count is the *smallest* (every path of the overlay is
-used); HyParView numbers concern the active view.
+used).  Registry scenario: ``table1_graph``.
 """
 
-from conftest import run_once
 
-from repro.experiments.graphprops import TABLE1_PROTOCOLS, run_graph_properties
-from repro.experiments.reporting import format_table
-
-PAPER_ROWS = {
-    "cyclon": (0.006836, 2.60426, 10.6),
-    "scamp": (0.022476, 3.35398, 14.1),
-    "hyparview": (0.00092, 6.38542, 9.0),
-}
-
-
-def bench_table1_graph_properties(benchmark, cache, params, emit):
-    def experiment():
-        return {
-            protocol: run_graph_properties(
-                protocol, params, messages=50, path_sample_sources=100,
-                base=cache.base(protocol),
-            )
-            for protocol in TABLE1_PROTOCOLS
-        }
-
-    results = run_once(benchmark, experiment)
-
-    rows = []
-    for protocol in TABLE1_PROTOCOLS:
-        r = results[protocol]
-        paper = PAPER_ROWS[protocol]
-        rows.append(
-            [
-                protocol,
-                f"{r.average_clustering:.6f}",
-                f"{r.path_stats.average:.5f}",
-                f"{r.max_hops_to_delivery:.1f}",
-                f"{paper[0]:.6f} / {paper[1]:.5f} / {paper[2]:.1f}",
-            ]
-        )
-    emit(
-        "table1_graph_properties",
-        format_table(
-            ["protocol", "avg clustering", "avg shortest path", "max hops", "paper (10k)"],
-            rows,
-            title=f"Table 1 — graph properties after stabilisation (n={params.n})",
-        ),
-    )
-
-    hv, cy, sc = results["hyparview"], results["cyclon"], results["scamp"]
-    # Shape 1: HyParView clusters far less than both baselines.
-    assert hv.average_clustering < cy.average_clustering / 2
-    assert hv.average_clustering < sc.average_clustering / 2
-    # Shape 2: HyParView's shortest path is the longest of the three.
-    assert hv.path_stats.average > cy.path_stats.average
-    assert hv.path_stats.average > sc.path_stats.average
-    # Shape 3: yet HyParView delivers within the fewest hops.
-    assert hv.max_hops_to_delivery <= cy.max_hops_to_delivery
-    assert hv.max_hops_to_delivery <= sc.max_hops_to_delivery
-    # Sanity: all overlays connected, HyParView symmetric.
-    assert hv.connected and hv.symmetry_fraction == 1.0
+def bench_table1_graph_properties(benchmark, bench_scenario):
+    bench_scenario(benchmark, "table1_graph", messages=50)

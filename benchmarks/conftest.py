@@ -1,6 +1,8 @@
 """Shared infrastructure for the reproduction benchmarks.
 
-Each ``bench_*`` file regenerates one table or figure of the paper.  Run:
+Each ``bench_*`` file regenerates one table or figure of the paper by
+resolving its scenario from the tiered registry
+(:mod:`repro.experiments.registry`) and running it at bench scale.  Run:
 
     pytest benchmarks/ --benchmark-only -s
 
@@ -12,21 +14,22 @@ Scale knobs (environment):
 * ``REPRO_BENCH_PAPER=1``  — exact paper scale (hours of CPU)
 * ``REPRO_BENCH_SEED``     — root seed (default 42)
 
-Every benchmark prints the rows/series the paper reports and appends the
-same text to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote
-it verbatim.  Overlay construction + stabilisation is cached per protocol
-for the whole session; experiments run on clones.
+Every benchmark prints the rows/series the paper reports, appends the same
+text to ``benchmarks/results/<scenario>.txt`` and persists the scenario's
+versioned ``BENCH_<scenario>.json`` artifact, then runs the scenario's
+registered shape checks (the paper's qualitative claims).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
-from repro.experiments.failures import stabilized_scenario
 from repro.experiments.params import ExperimentParams, bench_message_count, bench_params
-from repro.experiments.scenario import Scenario
+from repro.experiments.registry import RunContext, TierConfig, get_scenario
+from repro.experiments.reporting import ARTIFACT_SCHEMA, write_artifact
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -39,27 +42,6 @@ def params() -> ExperimentParams:
 @pytest.fixture(scope="session")
 def message_count() -> int:
     return bench_message_count()
-
-
-class ScenarioCache:
-    """Session cache: stabilise each protocol once, clone per experiment."""
-
-    def __init__(self, params: ExperimentParams) -> None:
-        self._params = params
-        self._cache: dict[str, Scenario] = {}
-
-    def base(self, protocol: str) -> Scenario:
-        if protocol not in self._cache:
-            self._cache[protocol] = stabilized_scenario(protocol, self._params)
-        return self._cache[protocol]
-
-    def fork(self, protocol: str) -> Scenario:
-        return self.base(protocol).clone()
-
-
-@pytest.fixture(scope="session")
-def cache(params: ExperimentParams) -> ScenarioCache:
-    return ScenarioCache(params)
 
 
 @pytest.fixture(scope="session")
@@ -78,3 +60,62 @@ def emit():
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def bench_scenario(params, message_count, emit):
+    """Run one registered scenario at bench scale, report and check it.
+
+    The registry's ``paper`` tier supplies the experiment's grids; scale
+    (``n``, messages, seed) comes from the environment knobs above, so the
+    default run fits a laptop while ``REPRO_BENCH_PAPER=1`` reproduces the
+    DSN'07 figures exactly.
+    """
+
+    def _run(benchmark, scenario_id: str, *, messages: int | None = None,
+             extra: dict | None = None):
+        spec = get_scenario(scenario_id)
+        paper_tier = spec.tier("paper")
+        config = TierConfig(
+            n=params.n,
+            messages=messages if messages is not None else message_count,
+            stabilization_cycles=params.stabilization_cycles,
+            paper_params=os.environ.get("REPRO_BENCH_PAPER", "") == "1",
+            extra={**paper_tier.extra, **(extra or {})},
+        )
+        context = RunContext(
+            scenario_id=scenario_id,
+            tier="paper",
+            config=config,
+            replicate=0,
+            seed=params.seed,
+        )
+        result = run_once(benchmark, lambda: spec.run(context))
+        emit(scenario_id, spec.render(result, config.n))
+        write_artifact(
+            RESULTS_DIR,
+            {
+                "schema": ARTIFACT_SCHEMA,
+                "scenario": spec.id,
+                "group": spec.group,
+                "title": spec.title,
+                "tier": "bench",
+                "root_seed": params.seed,
+                "config": {
+                    "n": config.n,
+                    "messages": config.messages,
+                    "replicates": 1,
+                    "stabilization_cycles": config.stabilization_cycles,
+                    "paper_params": config.paper_params,
+                    "extra": dict(config.extra),
+                },
+                "replicates": [
+                    {"replicate": 0, "seed": params.seed, "result": result}
+                ],
+            },
+        )
+        if spec.check is not None:
+            spec.check(result, config.n)
+        return result
+
+    return _run

@@ -101,7 +101,7 @@ def main() -> None:
     }
     big_load = sum(load[n] for n in big_ids) / len(big_ids)
     small_load = sum(load[n] for n in small_ids) / len(small_ids)
-    print(f"\nper-node message load over 30 broadcasts:")
+    print("\nper-node message load over 30 broadcasts:")
     print(f"  big:   {big_load:6.1f} copies received")
     print(f"  small: {small_load:6.1f} copies received")
     print(f"  ratio: {big_load / small_load:.2f}x "

@@ -2,24 +2,31 @@
 
 Examples::
 
-    python -m repro quickstart --n 200
-    python -m repro figure 2 --n 500 --messages 100
-    python -m repro figure table1
-    python -m repro healing --n 300 --failures 0.5 0.8
-    python -m repro ablation passive --n 300
-    python -m repro compare --n 300 --failures 0.3 0.6 0.8
+    repro quickstart --n 200
+    repro figure 2 --n 500 --messages 100
+    repro figure table1
+    repro healing --n 300 --failures 0.5 0.8
+    repro ablation passive --n 300
+    repro compare --n 300 --failures 0.3 0.6 0.8
+    repro bench --tier smoke --workers 2 --out benchmarks/results
+    repro bench --tier paper --scenario fig2_reliability
+    repro bench --list
 
 Every command prints the same plain-text reports the benchmark harness
 writes to ``benchmarks/results/``; scale and seed are flags, so the full
-paper-scale run is ``--n 10000 --messages 1000 --paper-params``.
+paper-scale run is ``--n 10000 --messages 1000 --paper-params``.  The
+``bench`` subcommand drives the parallel orchestrator over the tiered
+scenario registry and persists ``BENCH_<scenario>.json`` artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional, Sequence
 
+from .common.errors import ConfigurationError
 from .experiments.ablations import (
     default_passive_sizes,
     run_passive_size_ablation,
@@ -37,6 +44,7 @@ from .experiments.fanout import FIGURE1_FANOUTS, hyparview_reference_point, run_
 from .experiments.graphprops import TABLE1_PROTOCOLS, run_graph_properties
 from .experiments.healing import FIGURE4_PROTOCOLS, run_healing_experiment
 from .experiments.params import ExperimentParams
+from .experiments.registry import REGISTRY, TIER_NAMES, get_scenario
 from .experiments.reporting import (
     format_histogram,
     format_series,
@@ -279,6 +287,57 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the runner pulls in multiprocessing machinery the
+    # lightweight figure commands never need.
+    from .experiments.runner import run_and_report
+
+    if args.list:
+        rows = [
+            [spec.id, spec.group, ", ".join(sorted(spec.tiers)), spec.title]
+            for spec in sorted(REGISTRY.values(), key=lambda s: s.id)
+        ]
+        print(format_table(["scenario", "group", "tiers", "title"], rows,
+                           title="registered scenarios"))
+        return 0
+    if args.scenario:
+        scenario_ids = []
+        for scenario_id in args.scenario:
+            spec = get_scenario(scenario_id)  # raises with the available ids
+            if args.tier not in spec.tiers:
+                raise ConfigurationError(
+                    f"scenario {scenario_id!r} has no {args.tier!r} tier "
+                    f"(available: {', '.join(sorted(spec.tiers))})"
+                )
+            if scenario_id not in scenario_ids:
+                scenario_ids.append(scenario_id)
+    else:
+        # An unfiltered run takes whatever provides the requested tier.
+        scenario_ids = [
+            scenario_id
+            for scenario_id in sorted(REGISTRY)
+            if args.tier in get_scenario(scenario_id).tiers
+        ]
+    if not scenario_ids:
+        print(f"no scenario provides tier {args.tier!r}", file=sys.stderr)
+        return 2
+    runs = run_and_report(
+        scenario_ids,
+        args.tier,
+        workers=args.workers,
+        root_seed=args.seed,
+        n=args.n,
+        messages=args.messages,
+        replicates=args.replicates,
+        out_dir=None if args.no_artifacts else args.out,
+        check=args.check,
+    )
+    for run in runs.values():
+        print(f"\n===== {run.spec.id} =====")
+        print(run.render())
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -319,12 +378,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--messages", type=int, default=30)
     p.set_defaults(func=cmd_compare)
 
+    p = sub.add_parser(
+        "bench",
+        help="run registered scenarios through the parallel orchestrator",
+    )
+    p.add_argument(
+        "--tier", choices=list(TIER_NAMES), default="smoke",
+        help="scale tier: smoke (CI), paper (DSN'07 figures) or full",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes to shard replicates across",
+    )
+    p.add_argument(
+        "--scenario", action="append", metavar="ID",
+        help="run only this scenario (repeatable); default: all registered",
+    )
+    p.add_argument("--seed", type=int, default=42, help="sweep root seed")
+    p.add_argument(
+        "--n", type=int, default=None,
+        help="override the tier's system size (disables paper params)",
+    )
+    p.add_argument(
+        "--messages", type=int, default=None,
+        help="override the tier's messages per measurement batch",
+    )
+    p.add_argument(
+        "--replicates", type=int, default=None,
+        help="override the tier's replicate count",
+    )
+    p.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("benchmarks/results"),
+        help="directory for BENCH_<scenario>.json artifacts",
+    )
+    p.add_argument(
+        "--no-artifacts", action="store_true",
+        help="print reports without writing JSON artifacts",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="run each scenario's shape assertions on the results",
+    )
+    p.add_argument(
+        "--list", action="store_true",
+        help="list registered scenarios and exit",
+    )
+    p.set_defaults(func=cmd_bench)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

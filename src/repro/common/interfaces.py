@@ -131,6 +131,10 @@ class Host:
     clock: Clock
     transport: Transport
     rng: random.Random
+    #: Restart count of the owning process (0 for the first incarnation).
+    #: Broadcast layers scope their message-id sequence ranges by it so a
+    #: revived process never re-mints an id its predecessor already used.
+    incarnation: int = 0
 
     def now(self) -> float:
         return self.clock.now()

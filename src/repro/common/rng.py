@@ -35,13 +35,33 @@ class SeedSequence:
     def root_seed(self) -> int:
         return self._root_seed
 
-    def stream(self, label: str) -> random.Random:
-        """A named child stream; the same label always yields the same
-        stream for a given root seed."""
+    def derive_seed(self, label: str) -> int:
+        """A 64-bit integer seed derived from the root seed and ``label``.
+
+        This is the splitting primitive the experiment orchestrator uses to
+        hand each replicate its own root seed: derivation depends only on
+        ``(root_seed, label)``, never on process identity or call order, so
+        replicates executed in parallel worker processes receive exactly
+        the seeds they would have received serially.
+        """
         # Built-in hash() is salted per process, so derive the child seed
         # with a stable cryptographic hash instead.
         digest = hashlib.sha256(f"{self._root_seed}/{label}".encode()).digest()
-        return random.Random(int.from_bytes(digest[:8], "big"))
+        return int.from_bytes(digest[:8], "big")
+
+    def spawn(self, label: str) -> "SeedSequence":
+        """An independent child sequence rooted at ``derive_seed(label)``.
+
+        Children of different labels (and their own descendants) never
+        collide, which lets a sweep give every (scenario, replicate) cell a
+        private seed universe.
+        """
+        return SeedSequence(self.derive_seed(label))
+
+    def stream(self, label: str) -> random.Random:
+        """A named child stream; the same label always yields the same
+        stream for a given root seed."""
+        return random.Random(self.derive_seed(label))
 
     def node_stream(self, node: NodeId, purpose: str = "protocol") -> random.Random:
         """The stream a specific node uses for a specific purpose."""

@@ -90,6 +90,8 @@ class HyParView(PeerSamplingService):
         self._fill_excluded: set[NodeId] = set()
         self._fill_passes_remaining = 0
         self._fill_retry_timer: Optional[TimerHandle] = None
+        self._last_reactive_fill: Optional[float] = None
+        self._reactive_fill_streak = 0
         # Identifiers included in our last shuffle, for the eviction
         # priority rule of Section 4.4.
         self._last_shuffle_exchange: tuple[NodeId, ...] = ()
@@ -329,7 +331,26 @@ class HyParView(PeerSamplingService):
         # A disconnected peer is alive — it makes a good future candidate
         # (Section 4.5 explains this keeps refill probability high).
         self._add_to_passive(peer)
-        self._fill_active_view()
+        # Disconnects arriving in rapid succession are eviction contention:
+        # more starving nodes than free slots, each admission evicting the
+        # previous winner.  Granting every eviction a fresh promotion
+        # budget livelocks that loop (admit -> evict -> re-promote, with no
+        # timer in the cycle), so rapid-fire disconnects spend down the
+        # current episode's budget instead; the node backs off until the
+        # next cycle-driven repair once it is exhausted.
+        now = self._host.now()
+        rapid = (
+            self._last_reactive_fill is not None
+            and now - self._last_reactive_fill < self._config.promotion_retry_delay
+        )
+        self._last_reactive_fill = now
+        self._reactive_fill_streak = self._reactive_fill_streak + 1 if rapid else 0
+        if self._reactive_fill_streak >= 3:
+            self._fill_passes_remaining -= 1
+            if self._fill_passes_remaining >= 0:
+                self._fill_active_view(fresh_episode=False)
+        else:
+            self._fill_active_view()
 
     # ------------------------------------------------------------------
     # Passive view management (Section 4.4)

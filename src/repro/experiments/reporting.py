@@ -1,13 +1,92 @@
-"""Plain-text rendering of experiment results.
+"""Rendering and persistence of experiment results.
 
-The benchmark harness prints the same rows and series the paper's tables
-and figures report; these helpers keep that output aligned, stable and
-diff-friendly (EXPERIMENTS.md quotes it verbatim).
+Two halves:
+
+* **Plain text** — the benchmark harness prints the same rows and series
+  the paper's tables and figures report; these helpers keep that output
+  aligned, stable and diff-friendly (EXPERIMENTS.md quotes it verbatim).
+* **JSON artifacts** — the experiment orchestrator persists every scenario
+  run as a versioned ``BENCH_<scenario>.json`` file.  Artifacts are
+  canonically encoded (sorted keys, fixed indentation, no timestamps or
+  host identity), so a parallel run is byte-identical to a serial run of
+  the same seed and CI can diff benchmark trajectories across commits.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import math
+import pathlib
 from typing import Iterable, Mapping, Optional, Sequence
+
+#: Version tag embedded in every artifact; bump on breaking layout changes.
+ARTIFACT_SCHEMA = "repro-bench/1"
+
+
+# ----------------------------------------------------------------------
+# JSON artifacts
+# ----------------------------------------------------------------------
+def json_safe(value: object) -> object:
+    """Recursively convert an experiment result into JSON-encodable data.
+
+    Dataclasses become dicts, mappings get string keys (sorted encoding
+    needs homogeneous keys — degree histograms are keyed by ints), tuples
+    become lists, and non-finite floats become ``None`` rather than the
+    non-standard ``NaN``/``Infinity`` tokens.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: json_safe(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [json_safe(item) for item in items]
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def encode_artifact(artifact: Mapping[str, object]) -> str:
+    """Canonical text encoding: sorted keys, two-space indent, newline EOF.
+
+    Byte-for-byte stability of this encoding is what the parallel-vs-serial
+    determinism guarantee (and its CI check) is stated in terms of.
+    """
+    return json.dumps(json_safe(artifact), sort_keys=True, indent=2) + "\n"
+
+
+def artifact_filename(scenario_id: str) -> str:
+    """The on-disk name for one scenario's results."""
+    return f"BENCH_{scenario_id}.json"
+
+
+def write_artifact(
+    directory: pathlib.Path | str, artifact: Mapping[str, object]
+) -> pathlib.Path:
+    """Persist one scenario artifact under ``directory``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / artifact_filename(str(artifact["scenario"]))
+    path.write_text(encode_artifact(artifact))
+    return path
+
+
+def load_artifact(path: pathlib.Path | str) -> dict:
+    """Read an artifact back; raises ``ValueError`` on schema mismatch."""
+    data = json.loads(pathlib.Path(path).read_text())
+    schema = data.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"unsupported artifact schema {schema!r} in {path} "
+            f"(expected {ARTIFACT_SCHEMA!r})"
+        )
+    return data
 
 
 def format_table(

@@ -1,0 +1,288 @@
+"""Parallel experiment orchestrator.
+
+Shards replicate runs of registered scenarios across worker processes and
+aggregates them into versioned JSON artifacts.  The unit of work is one
+``(scenario, replicate)`` cell; each cell derives its own root seed from
+the sweep seed via :meth:`SeedSequence.derive_seed`, so the result of a
+cell depends only on ``(root_seed, scenario_id, tier, replicate,
+overrides)`` — never on scheduling.  A run with ``--workers 8`` therefore
+produces byte-identical artifacts to a serial run, which is asserted in CI.
+
+The multiprocessing entry point (:func:`_execute_unit`) is a module-level
+function resolving scenarios by id from the registry, so it works under
+both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pathlib
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+from ..common.errors import ConfigurationError
+from ..common.rng import SeedSequence
+from .registry import (
+    RunContext,
+    ScenarioSpec,
+    TierConfig,
+    get_scenario,
+)
+from .reporting import ARTIFACT_SCHEMA, write_artifact
+
+#: Default root seed of a sweep (matches the experiment default).
+DEFAULT_ROOT_SEED = 42
+
+
+@dataclass(frozen=True, slots=True)
+class WorkUnit:
+    """One replicate of one scenario — the schedulable atom.
+
+    Everything a worker needs travels in this (picklable) record; the
+    scenario's code is resolved from the registry inside the worker.
+    """
+
+    scenario_id: str
+    tier: str
+    replicate: int
+    root_seed: int
+    n: Optional[int] = None
+    messages: Optional[int] = None
+
+    def resolve(self) -> tuple[ScenarioSpec, RunContext]:
+        spec = get_scenario(self.scenario_id)
+        config = _apply_overrides(spec.tier(self.tier), self.n, self.messages)
+        seed = replicate_seed(self.root_seed, self.scenario_id, self.replicate)
+        context = RunContext(
+            scenario_id=self.scenario_id,
+            tier=self.tier,
+            config=config,
+            replicate=self.replicate,
+            seed=seed,
+        )
+        return spec, context
+
+
+def replicate_seed(root_seed: int, scenario_id: str, replicate: int) -> int:
+    """The deterministic seed of one replicate cell (scheduling-independent)."""
+    return SeedSequence(root_seed).derive_seed(
+        f"bench/{scenario_id}/replicate/{replicate}"
+    )
+
+
+def _apply_overrides(
+    config: TierConfig, n: Optional[int], messages: Optional[int]
+) -> TierConfig:
+    if n is not None:
+        config = replace(config, n=n, paper_params=False)
+    if messages is not None:
+        config = replace(config, messages=messages)
+    return config
+
+
+def _execute_unit(unit: WorkUnit) -> tuple[str, int, int, dict]:
+    """Worker entry point: run one replicate, return its keyed result."""
+    spec, context = unit.resolve()
+    result = spec.run(context)
+    return unit.scenario_id, unit.replicate, context.seed, result
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioRun:
+    """Aggregated outcome of one scenario at one tier."""
+
+    spec: ScenarioSpec
+    tier: str
+    config: TierConfig
+    root_seed: int
+    #: per-replicate ``{"replicate", "seed", "result"}`` records, in order.
+    replicates: tuple[dict, ...]
+
+    def first_result(self) -> dict:
+        return self.replicates[0]["result"]
+
+    def artifact(self) -> dict:
+        """The versioned JSON artifact for this run.
+
+        Deliberately contains no timestamps, durations or host identity:
+        the artifact is a pure function of ``(root_seed, scenario, tier,
+        overrides)``, so parallel and serial runs encode identically and
+        CI can diff artifacts across commits.
+        """
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "scenario": self.spec.id,
+            "group": self.spec.group,
+            "title": self.spec.title,
+            "tier": self.tier,
+            "root_seed": self.root_seed,
+            "config": {
+                "n": self.config.n,
+                "messages": self.config.messages,
+                "replicates": self.config.replicates,
+                "stabilization_cycles": self.config.stabilization_cycles,
+                "paper_params": self.config.paper_params,
+                "extra": dict(self.config.extra),
+            },
+            "replicates": list(self.replicates),
+        }
+
+    def render(self) -> str:
+        return self.spec.render(self.first_result(), self.config.n)
+
+    def check(self) -> None:
+        if self.spec.check is None:
+            return
+        for record in self.replicates:
+            self.spec.check(record["result"], self.config.n)
+
+
+def build_units(
+    scenario_ids: Sequence[str],
+    tier: str,
+    *,
+    root_seed: int = DEFAULT_ROOT_SEED,
+    n: Optional[int] = None,
+    messages: Optional[int] = None,
+    replicates: Optional[int] = None,
+) -> list[WorkUnit]:
+    """Expand scenarios into the flat, deterministic work-unit list."""
+    units: list[WorkUnit] = []
+    for scenario_id in scenario_ids:
+        spec = get_scenario(scenario_id)
+        config = spec.tier(tier)
+        count = replicates if replicates is not None else config.replicates
+        if count < 1:
+            raise ConfigurationError(f"replicates must be >= 1: {count}")
+        for replicate in range(count):
+            units.append(
+                WorkUnit(
+                    scenario_id=scenario_id,
+                    tier=tier,
+                    replicate=replicate,
+                    root_seed=root_seed,
+                    n=n,
+                    messages=messages,
+                )
+            )
+    return units
+
+
+def run_scenarios(
+    scenario_ids: Sequence[str],
+    tier: str,
+    *,
+    workers: int = 1,
+    root_seed: int = DEFAULT_ROOT_SEED,
+    n: Optional[int] = None,
+    messages: Optional[int] = None,
+    replicates: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, ScenarioRun]:
+    """Run scenarios at ``tier``, sharding replicates over ``workers``.
+
+    Returns runs keyed by scenario id, replicates ordered by index —
+    identical regardless of worker count or completion order.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1: {workers}")
+    units = build_units(
+        scenario_ids, tier,
+        root_seed=root_seed, n=n, messages=messages, replicates=replicates,
+    )
+    completed: list[tuple[str, int, int, dict]] = []
+    if workers == 1 or len(units) == 1:
+        for unit in units:
+            completed.append(_execute_unit(unit))
+            if progress is not None:
+                progress(f"{unit.scenario_id} replicate {unit.replicate} done")
+    else:
+        context = multiprocessing.get_context(_start_method())
+        with context.Pool(processes=min(workers, len(units))) as pool:
+            for outcome in pool.imap_unordered(_execute_unit, units):
+                completed.append(outcome)
+                if progress is not None:
+                    progress(f"{outcome[0]} replicate {outcome[1]} done")
+    # Reassemble deterministically: completion order is scheduling noise.
+    by_cell = {
+        (scenario_id, replicate): (seed, result)
+        for scenario_id, replicate, seed, result in completed
+    }
+    runs: dict[str, ScenarioRun] = {}
+    for scenario_id in scenario_ids:
+        spec = get_scenario(scenario_id)
+        config = _apply_overrides(spec.tier(tier), n, messages)
+        count = replicates if replicates is not None else config.replicates
+        if replicates is not None:
+            config = replace(config, replicates=replicates)
+        records = []
+        for replicate in range(count):
+            seed, result = by_cell[(scenario_id, replicate)]
+            records.append({"replicate": replicate, "seed": seed, "result": result})
+        runs[scenario_id] = ScenarioRun(
+            spec=spec,
+            tier=tier,
+            config=config,
+            root_seed=root_seed,
+            replicates=tuple(records),
+        )
+    return runs
+
+
+def _start_method() -> str:
+    """Prefer ``fork`` on Linux (cheap, and the CI platform); elsewhere
+    keep the platform default — macOS lists fork as available but made
+    spawn the default because forking after framework init is unsafe."""
+    if sys.platform.startswith("linux"):
+        return "fork"
+    return multiprocessing.get_start_method(allow_none=False)
+
+
+def write_artifacts(
+    runs: dict[str, ScenarioRun], directory: pathlib.Path | str
+) -> list[pathlib.Path]:
+    """Persist every run as ``BENCH_<scenario>.json`` under ``directory``."""
+    return [write_artifact(directory, run.artifact()) for run in runs.values()]
+
+
+def run_and_report(
+    scenario_ids: Sequence[str],
+    tier: str,
+    *,
+    workers: int = 1,
+    root_seed: int = DEFAULT_ROOT_SEED,
+    n: Optional[int] = None,
+    messages: Optional[int] = None,
+    replicates: Optional[int] = None,
+    out_dir: Optional[pathlib.Path | str] = None,
+    check: bool = False,
+    stream=None,
+) -> dict[str, ScenarioRun]:
+    """The CLI's whole job: run, render, optionally check and persist.
+
+    Timing is reported to ``stream`` (default stderr) only — it never
+    enters the artifacts, which must stay deterministic.
+    """
+    stream = stream if stream is not None else sys.stderr
+    started = time.perf_counter()
+    runs = run_scenarios(
+        scenario_ids, tier,
+        workers=workers, root_seed=root_seed,
+        n=n, messages=messages, replicates=replicates,
+        progress=lambda note: print(f"  [{tier}] {note}", file=stream),
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        f"ran {len(scenario_ids)} scenario(s) at tier {tier!r} with "
+        f"{workers} worker(s) in {elapsed:.1f}s",
+        file=stream,
+    )
+    if out_dir is not None:
+        for path in write_artifacts(runs, out_dir):
+            print(f"  wrote {path}", file=stream)
+    if check:
+        for run in runs.values():
+            run.check()
+    return runs

@@ -47,7 +47,9 @@ class BroadcastLayer(ABC):
         self._membership = membership
         self._tracker = tracker
         self._on_deliver = on_deliver
-        self._sequence = SequenceGenerator(host.address)
+        # Sequence ranges are incarnation-scoped: a restarted process
+        # must never collide with ids its predecessor minted.
+        self._sequence = SequenceGenerator(host.address, start=host.incarnation << 32)
         self._seen: set[MessageId] = set()
         self._seen_order: Optional[deque[MessageId]] = (
             deque() if seen_capacity is not None else None

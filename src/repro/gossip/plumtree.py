@@ -75,7 +75,9 @@ class Plumtree:
         self._tracker = tracker
         self._config = config if config is not None else PlumtreeConfig()
         self._on_deliver = on_deliver
-        self._sequence = SequenceGenerator(host.address)
+        # Sequence ranges are incarnation-scoped: a restarted process
+        # must never collide with ids its predecessor minted.
+        self._sequence = SequenceGenerator(host.address, start=host.incarnation << 32)
         self.eager_peers: set[NodeId] = set(membership.out_neighbors())
         self.lazy_peers: set[NodeId] = set()
         #: ids of every message ever received (deduplication; ids are tiny)

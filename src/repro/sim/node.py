@@ -57,6 +57,7 @@ class SimNode:
             clock=self.clock,
             transport=self.transport,
             rng=self.network.seeds.node_stream(self.node_id, label),
+            incarnation=self.generation,
         )
 
     def reset(self) -> None:

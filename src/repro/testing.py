@@ -1,0 +1,105 @@
+"""Test-support helpers: a small wired world for protocol unit tests.
+
+Lives inside the package (rather than in a ``conftest.py``) so both the
+test suite and the benchmark harness can import it without relying on
+pytest's ``sys.path`` insertion — two ``conftest.py`` files with the same
+basename shadow each other when the whole repository is collected at once.
+"""
+
+from __future__ import annotations
+
+from .common.ids import NodeId
+from .common.rng import SeedSequence
+from .core.config import HyParViewConfig
+from .core.protocol import HyParView
+from .gossip.eager import EagerGossip
+from .gossip.flood import FloodBroadcast
+from .gossip.plumtree import Plumtree, PlumtreeConfig
+from .gossip.tracker import BroadcastTracker
+from .protocols.cyclon import Cyclon, CyclonConfig
+from .protocols.cyclon_acked import CyclonAcked
+from .protocols.scamp import Scamp, ScampConfig
+from .sim.engine import Engine
+from .sim.network import Network
+from .sim.node import SimNode
+
+
+class World:
+    """A small simulated network with helpers to wire protocol stacks.
+
+    Unit tests use this instead of the full experiment Scenario so they can
+    mix protocols, drive single messages, and inspect everything.
+    """
+
+    def __init__(self, seed: int = 7) -> None:
+        self.engine = Engine()
+        self.seeds = SeedSequence(seed)
+        self.network = Network(self.engine, seeds=self.seeds)
+        self.tracker = BroadcastTracker()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def new_node(self, name: str | None = None) -> SimNode:
+        if name is None:
+            name = f"n{self._counter}"
+            self._counter += 1
+        return SimNode(NodeId(name, 9000), self.network)
+
+    def hyparview(self, name: str | None = None, config: HyParViewConfig | None = None):
+        node = self.new_node(name)
+        protocol = HyParView(node.host("membership"), config or HyParViewConfig())
+        node.wire("membership", protocol)
+        return node, protocol
+
+    def hyparview_many(self, count: int, config: HyParViewConfig | None = None):
+        return [self.hyparview(config=config) for _ in range(count)]
+
+    def cyclon(self, name: str | None = None, config: CyclonConfig | None = None):
+        node = self.new_node(name)
+        protocol = Cyclon(node.host("membership"), config or CyclonConfig(view_size=8, shuffle_length=4))
+        node.wire("membership", protocol)
+        return node, protocol
+
+    def cyclon_acked(self, name: str | None = None, config: CyclonConfig | None = None):
+        node = self.new_node(name)
+        protocol = CyclonAcked(
+            node.host("membership"), config or CyclonConfig(view_size=8, shuffle_length=4)
+        )
+        node.wire("membership", protocol)
+        return node, protocol
+
+    def scamp(self, name: str | None = None, config: ScampConfig | None = None):
+        node = self.new_node(name)
+        protocol = Scamp(node.host("membership"), config or ScampConfig())
+        node.wire("membership", protocol)
+        return node, protocol
+
+    def with_flood(self, node: SimNode, membership: HyParView) -> FloodBroadcast:
+        layer = FloodBroadcast(node.host("gossip"), membership, self.tracker)
+        node.wire("gossip", layer)
+        return layer
+
+    def with_eager(self, node: SimNode, membership, *, fanout: int = 3, acked: bool = False):
+        layer = EagerGossip(
+            node.host("gossip"), membership, self.tracker, fanout=fanout, acked=acked
+        )
+        node.wire("gossip", layer)
+        return layer
+
+    def with_plumtree(
+        self, node: SimNode, membership: HyParView, config: PlumtreeConfig | None = None
+    ) -> Plumtree:
+        layer = Plumtree(node.host("gossip"), membership, self.tracker, config=config)
+        node.wire("gossip", layer)
+        return layer
+
+    # ------------------------------------------------------------------
+    def drain(self, max_events: int = 2_000_000) -> int:
+        return self.engine.run_until_idle(max_events)
+
+    def join_chain(self, protocols) -> None:
+        """First protocol is the contact; the rest join through it."""
+        contact = protocols[0].address
+        for protocol in protocols[1:]:
+            protocol.join(contact)
+            self.drain()

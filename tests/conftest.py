@@ -1,4 +1,9 @@
-"""Shared fixtures: a small wired world for protocol unit tests."""
+"""Shared fixtures: a small wired world for protocol unit tests.
+
+The ``World`` helper itself lives in :mod:`repro.testing` so test modules
+can import it directly (``from repro.testing import World``) without
+relying on pytest's conftest path magic.
+"""
 
 from __future__ import annotations
 
@@ -6,101 +11,18 @@ import random
 
 import pytest
 
-from repro.common.ids import NodeId
-from repro.common.rng import SeedSequence
-from repro.core.config import HyParViewConfig
-from repro.core.protocol import HyParView
-from repro.gossip.eager import EagerGossip
-from repro.gossip.flood import FloodBroadcast
-from repro.gossip.plumtree import Plumtree, PlumtreeConfig
-from repro.gossip.tracker import BroadcastTracker
-from repro.protocols.cyclon import Cyclon, CyclonConfig
-from repro.protocols.cyclon_acked import CyclonAcked
-from repro.protocols.scamp import Scamp, ScampConfig
-from repro.sim.engine import Engine
-from repro.sim.network import Network
-from repro.sim.node import SimNode
+from repro.testing import World
+
+__all__ = ["World"]
 
 
-class World:
-    """A small simulated network with helpers to wire protocol stacks.
-
-    Unit tests use this instead of the full experiment Scenario so they can
-    mix protocols, drive single messages, and inspect everything.
-    """
-
-    def __init__(self, seed: int = 7) -> None:
-        self.engine = Engine()
-        self.seeds = SeedSequence(seed)
-        self.network = Network(self.engine, seeds=self.seeds)
-        self.tracker = BroadcastTracker()
-        self._counter = 0
-
-    # ------------------------------------------------------------------
-    def new_node(self, name: str | None = None) -> SimNode:
-        if name is None:
-            name = f"n{self._counter}"
-            self._counter += 1
-        return SimNode(NodeId(name, 9000), self.network)
-
-    def hyparview(self, name: str | None = None, config: HyParViewConfig | None = None):
-        node = self.new_node(name)
-        protocol = HyParView(node.host("membership"), config or HyParViewConfig())
-        node.wire("membership", protocol)
-        return node, protocol
-
-    def hyparview_many(self, count: int, config: HyParViewConfig | None = None):
-        return [self.hyparview(config=config) for _ in range(count)]
-
-    def cyclon(self, name: str | None = None, config: CyclonConfig | None = None):
-        node = self.new_node(name)
-        protocol = Cyclon(node.host("membership"), config or CyclonConfig(view_size=8, shuffle_length=4))
-        node.wire("membership", protocol)
-        return node, protocol
-
-    def cyclon_acked(self, name: str | None = None, config: CyclonConfig | None = None):
-        node = self.new_node(name)
-        protocol = CyclonAcked(
-            node.host("membership"), config or CyclonConfig(view_size=8, shuffle_length=4)
-        )
-        node.wire("membership", protocol)
-        return node, protocol
-
-    def scamp(self, name: str | None = None, config: ScampConfig | None = None):
-        node = self.new_node(name)
-        protocol = Scamp(node.host("membership"), config or ScampConfig())
-        node.wire("membership", protocol)
-        return node, protocol
-
-    def with_flood(self, node: SimNode, membership: HyParView) -> FloodBroadcast:
-        layer = FloodBroadcast(node.host("gossip"), membership, self.tracker)
-        node.wire("gossip", layer)
-        return layer
-
-    def with_eager(self, node: SimNode, membership, *, fanout: int = 3, acked: bool = False):
-        layer = EagerGossip(
-            node.host("gossip"), membership, self.tracker, fanout=fanout, acked=acked
-        )
-        node.wire("gossip", layer)
-        return layer
-
-    def with_plumtree(
-        self, node: SimNode, membership: HyParView, config: PlumtreeConfig | None = None
-    ) -> Plumtree:
-        layer = Plumtree(node.host("gossip"), membership, self.tracker, config=config)
-        node.wire("gossip", layer)
-        return layer
-
-    # ------------------------------------------------------------------
-    def drain(self, max_events: int = 2_000_000) -> int:
-        return self.engine.run_until_idle(max_events)
-
-    def join_chain(self, protocols) -> None:
-        """First protocol is the contact; the rest join through it."""
-        contact = protocols[0].address
-        for protocol in protocols[1:]:
-            protocol.join(contact)
-            self.drain()
+def pytest_pycollect_makeitem(collector, name, obj):
+    # The repo-wide config collects bench_* functions for the benchmark
+    # harness; inside tests/ such names are imported helpers (e.g.
+    # ``bench_params``), never benchmarks — skip them.
+    if name.startswith("bench_"):
+        return []
+    return None
 
 
 @pytest.fixture

@@ -6,10 +6,8 @@ symmetry, connectivity, bounded degrees, catastrophic-failure repair.
 
 import pytest
 
-from repro.core.config import HyParViewConfig
 from repro.experiments.params import ExperimentParams
 from repro.experiments.scenario import Scenario
-from repro.metrics.graph import OverlaySnapshot
 
 
 def hyparview_scenario(n, seed=42, cycles=15):

@@ -8,7 +8,6 @@ from repro.core.config import HyParViewConfig
 from repro.gossip.flood import FloodBroadcast
 from repro.protocols.scamp import ScampForwardedSubscription, ScampSubscribe
 
-from .conftest import World
 
 SMALL = HyParViewConfig(active_view_capacity=2, passive_view_capacity=6)
 

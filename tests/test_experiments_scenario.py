@@ -126,3 +126,21 @@ class TestClone:
         with pytest.raises(SimulationError):
             scenario.clone()
         scenario.drain()
+
+
+class TestReviveIncarnations:
+    def test_revived_origin_never_reuses_message_ids(self):
+        """A restarted process must not re-mint its predecessor's broadcast
+        ids (regression: churn runs crashed the tracker with "duplicate
+        broadcast id" when a revived node broadcast again)."""
+        scenario = Scenario("hyparview", small_params())
+        scenario.build_overlay()
+        scenario.stabilize()
+        origin = scenario.alive_ids()[0]
+        before = scenario.send_broadcast(origin)
+        scenario.fail_nodes([origin])
+        scenario.drain()
+        scenario.revive_node(origin)
+        after = scenario.send_broadcast(origin)  # raised before the fix
+        assert before.message_id != after.message_id
+        assert after.message_id.sequence >= 1 << 32

@@ -38,7 +38,7 @@ class TestFloodBroadcast:
         from repro.gossip.flood import FloodBroadcast
 
         layer_a = node_a.wire("gossip", FloodBroadcast(node_a.host("gossip"), a, world.tracker))
-        layer_b = node_b.wire(
+        node_b.wire(
             "gossip",
             FloodBroadcast(
                 node_b.host("gossip"), b, world.tracker, on_deliver=lambda m, p: got.append(p)
@@ -51,7 +51,7 @@ class TestFloodBroadcast:
 
     def test_duplicates_counted_not_redelivered(self, world):
         nodes, layers = flood_world(world, 8)
-        mid = layers[0].broadcast("x")
+        layers[0].broadcast("x")
         world.drain()
         assert sum(layer.delivered_count for layer in layers) == len(layers)
         assert sum(layer.duplicate_count for layer in layers) > 0  # flooding is redundant
@@ -104,7 +104,7 @@ class TestEagerGossip:
     def test_forward_excludes_sender(self, world):
         (na, a), (nb, b) = world.cyclon(), world.cyclon()
         layer_a = world.with_eager(na, a, fanout=3)
-        layer_b = world.with_eager(nb, b, fanout=3)
+        world.with_eager(nb, b, fanout=3)
         b.join(a.address)
         world.drain()
         layer_a.broadcast("x")
@@ -144,7 +144,7 @@ class TestEagerGossip:
 
     def test_seen_capacity_bounds_memory(self, world):
         (na, a), (nb, b) = world.cyclon(), world.cyclon()
-        layer_a = world.with_eager(na, a, fanout=2)
+        world.with_eager(na, a, fanout=2)
         from repro.gossip.eager import EagerGossip
 
         layer_b = nb.wire(

@@ -17,14 +17,13 @@ checks the protocol's global invariants at quiescence:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import HyParViewConfig
 from repro.metrics.graph import OverlaySnapshot
 
-from .conftest import World
+from repro.testing import World
 
 CONFIG = HyParViewConfig(
     active_view_capacity=3,
@@ -167,3 +166,23 @@ class TestProtocolFuzz:
         fuzzer = Fuzzer(7)
         fuzzer.check_invariants()
         assert all(len(p.active_members()) >= 1 for p in fuzzer.protocols)
+
+
+class TestEvictionContention:
+    def test_starving_nodes_contending_for_one_slotholder_quiesce(self):
+        """Regression (found by hypothesis): several starving nodes whose
+        passive views all point at one popular node used to livelock —
+        each high-priority NEIGHBOR admission evicted the previous winner,
+        whose disconnect-triggered repair re-promoted it with a fresh
+        budget, generating an unbounded admit/evict/re-promote message
+        cycle that run_until_idle could never drain."""
+        operations = [
+            ("broadcast", 0, 0), ("leave", 0, 0), ("join", 3, 6),
+            ("join", 5, 4), ("join", 0, 3), ("cycle", 6, 0),
+            ("crash", 2, 0), ("join", 2, 7), ("crash", 3, 0),
+            ("broadcast", 6, 0), ("cycle", 5, 0),
+        ]
+        fuzzer = Fuzzer(2403)
+        for op in operations:
+            fuzzer.apply(op)  # raised SimulationError (runaway) before
+        fuzzer.check_invariants()

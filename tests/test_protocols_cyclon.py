@@ -8,7 +8,7 @@ from repro.common.errors import ProtocolError
 from repro.common.ids import NodeId
 from repro.experiments.params import ExperimentParams
 from repro.experiments.scenario import Scenario
-from repro.protocols.cyclon import AgedView, CyclonConfig
+from repro.protocols.cyclon import AgedView
 
 
 def nid(i):
