@@ -1,0 +1,93 @@
+"""Microbenchmark of the simulation kernel's hot loop.
+
+Tracks events/second through :meth:`Engine.run_until_idle` for the two
+traffic classes the experiments generate:
+
+* **posted events** — handle-free message deliveries (the fast path that
+  carries millions of gossip messages per figure);
+* **timer events** — cancellable handles, most of which are cancelled
+  before firing (ack/retransmit timers), exercising lazy removal and heap
+  compaction.
+
+Numbers go to stdout (CI job logs) only; the assertion floor is set far
+below any real machine's throughput so the bench only trips on a
+catastrophic kernel regression, never on a noisy runner.
+
+Run directly (``python benchmarks/bench_kernel.py``) or via pytest
+(``pytest benchmarks/bench_kernel.py -s``; slow-marked).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.sim.engine import Engine
+
+#: Events per measured batch — large enough to amortise timer noise.
+BATCH = 200_000
+
+#: Catastrophic-regression floor (events/second).  Real hardware does
+#: millions; tripping this means the hot loop gained per-event overhead.
+FLOOR = 50_000
+
+
+def _events_per_second(total_events: int, elapsed: float) -> float:
+    return total_events / elapsed if elapsed > 0 else float("inf")
+
+
+def _drive_posted(engine: Engine, total: int) -> None:
+    """A self-sustaining cascade: each posted event posts the next."""
+    remaining = [total]
+
+    def fire() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            engine.post(0.001, fire)
+
+    engine.post(0.001, fire)
+    engine.run_until_idle()
+
+
+def _drive_timers(engine: Engine, total: int) -> None:
+    """A cascade of cancellable timers; each firing also schedules a decoy
+    that is immediately cancelled (the ack-timer pattern), so half of all
+    scheduled events are lazily-removed garbage the engine must reclaim."""
+    remaining = [total]
+
+    def fire() -> None:
+        remaining[0] -= 1
+        engine.schedule(30.0, fire).cancel()
+        if remaining[0] > 0:
+            engine.schedule(0.001, fire)
+
+    engine.schedule(0.001, fire)
+    engine.run_until_idle()
+
+
+@pytest.mark.slow
+def bench_kernel_hot_loop() -> None:
+    engine = Engine()
+    started = time.perf_counter()
+    _drive_posted(engine, BATCH)
+    posted_eps = _events_per_second(BATCH, time.perf_counter() - started)
+
+    engine = Engine()
+    started = time.perf_counter()
+    _drive_timers(engine, BATCH // 2)
+    timer_eps = _events_per_second(BATCH // 2, time.perf_counter() - started)
+    # The decoy cancellations must have been reclaimed, not accumulated.
+    assert engine.pending <= 1
+    assert engine.live_pending == engine.pending
+
+    print(
+        f"\nkernel hot loop: posted {posted_eps:,.0f} events/s, "
+        f"timers (all-cancel decoys) {timer_eps:,.0f} events/s"
+    )
+    assert posted_eps > FLOOR
+    assert timer_eps > FLOOR
+
+
+if __name__ == "__main__":
+    bench_kernel_hot_loop()

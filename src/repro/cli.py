@@ -290,7 +290,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     # Imported lazily: the runner pulls in multiprocessing machinery the
     # lightweight figure commands never need.
-    from .experiments.runner import run_and_report
+    from .experiments.runner import profile_unit, run_and_report
 
     if args.list:
         rows = [
@@ -321,6 +321,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not scenario_ids:
         print(f"no scenario provides tier {args.tier!r}", file=sys.stderr)
         return 2
+    if args.profile:
+        # One work unit under cProfile, in-process; no artifacts.
+        profile_unit(
+            scenario_ids[0],
+            args.tier,
+            root_seed=args.seed,
+            n=args.n,
+            messages=args.messages,
+            unit_index=args.profile_unit,
+        )
+        return 0
     runs = run_and_report(
         scenario_ids,
         args.tier,
@@ -329,6 +340,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         n=args.n,
         messages=args.messages,
         replicates=args.replicates,
+        cells=args.cells != "off",
+        snapshot_cache=not args.no_snapshot_cache,
         out_dir=None if args.no_artifacts else args.out,
         check=args.check,
     )
@@ -406,6 +419,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--replicates", type=int, default=None,
         help="override the tier's replicate count",
+    )
+    p.add_argument(
+        "--cells", choices=["auto", "off"], default="auto",
+        help="auto (default): shard grid scenarios into per-cell work "
+        "units; off: one work unit per replicate (PR-1 behaviour). "
+        "Artifacts are byte-identical either way.",
+    )
+    p.add_argument(
+        "--no-snapshot-cache", action="store_true",
+        help="rebuild every stabilised base overlay instead of serving "
+        "frozen snapshots from the per-worker cache (slower, identical "
+        "artifacts; for debugging/verification)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run one work unit under cProfile and print the top 20 "
+        "functions by cumulative time (combine with --scenario/--tier; "
+        "no artifacts are written)",
+    )
+    p.add_argument(
+        "--profile-unit", type=int, default=0, metavar="INDEX",
+        help="which work unit --profile profiles (default: the first)",
     )
     p.add_argument(
         "--out", type=pathlib.Path, default=pathlib.Path("benchmarks/results"),

@@ -57,6 +57,15 @@ def register_message(wire_name: str) -> Callable[[Type[M]], Type[M]]:
             raise CodecError(f"duplicate message wire name: {wire_name!r}")
         if not dataclasses.is_dataclass(cls):
             raise CodecError(f"{cls.__name__} must be a dataclass to be registered")
+        if cls.__dictoffset__:
+            # The simulator allocates millions of message instances per
+            # figure; a per-instance __dict__ roughly doubles that memory
+            # traffic.  Slots are an enforced invariant, not a convention:
+            # declare messages with @dataclass(frozen=True, slots=True).
+            raise CodecError(
+                f"{cls.__name__} must use __slots__ (declare with "
+                f"@dataclass(frozen=True, slots=True))"
+            )
         _REGISTRY_BY_NAME[wire_name] = cls
         _REGISTRY_BY_TYPE[cls] = wire_name
         return cls

@@ -40,6 +40,36 @@ class FailureExperimentResult:
         return sum(tail) / len(tail) if tail else 0.0
 
 
+def measure_failure(
+    scenario: Scenario,
+    failure_fraction: float,
+    messages: int,
+    *,
+    paced: bool = True,
+) -> FailureExperimentResult:
+    """Crash, broadcast, measure — on a scenario the caller hands over.
+
+    The scenario is consumed (mutated): callers keep a reusable base by
+    passing a :meth:`~repro.experiments.scenario.Scenario.clone` or a
+    snapshot-cache checkout instead of the base itself.
+    """
+    scenario.fail_fraction(failure_fraction)
+    if paced:
+        summaries = scenario.send_paced_broadcasts(messages)
+    else:
+        summaries = scenario.send_broadcasts(messages)
+    return FailureExperimentResult(
+        protocol=scenario.protocol,
+        n=scenario.params.n,
+        failure_fraction=failure_fraction,
+        messages=messages,
+        series=tuple(reliability_series(summaries)),
+        average=average_reliability(summaries),
+        atomic=atomic_fraction(summaries),
+        correct_nodes=len(scenario.alive_ids()),
+    )
+
+
 def run_failure_experiment(
     protocol: str,
     params: ExperimentParams,
@@ -55,21 +85,7 @@ def run_failure_experiment(
     mutated); building one per call is the slow path.
     """
     scenario = base.clone() if base is not None else stabilized_scenario(protocol, params)
-    scenario.fail_fraction(failure_fraction)
-    if paced:
-        summaries = scenario.send_paced_broadcasts(messages)
-    else:
-        summaries = scenario.send_broadcasts(messages)
-    return FailureExperimentResult(
-        protocol=protocol,
-        n=params.n,
-        failure_fraction=failure_fraction,
-        messages=messages,
-        series=tuple(reliability_series(summaries)),
-        average=average_reliability(summaries),
-        atomic=atomic_fraction(summaries),
-        correct_nodes=len(scenario.alive_ids()),
-    )
+    return measure_failure(scenario, failure_fraction, messages, paced=paced)
 
 
 def stabilized_scenario(protocol: str, params: ExperimentParams) -> Scenario:

@@ -55,25 +55,32 @@ def run_fanout_sweep(
             f"{protocol} floods its active view; a fanout sweep does not apply (Section 4.1)"
         )
     stabilized = base if base is not None else stabilized_scenario(protocol, params)
-    points = []
-    for fanout in fanouts:
-        scenario = stabilized.clone()
-        for node_id in scenario.node_ids:
-            layer = scenario.broadcast_layer(node_id)
-            assert isinstance(layer, EagerGossip)
-            layer.fanout = fanout
-        summaries = scenario.send_broadcasts(messages)
-        points.append(
-            FanoutPoint(
-                protocol=protocol,
-                fanout=fanout,
-                messages=messages,
-                average_reliability=average_reliability(summaries),
-                atomic_fraction=atomic_fraction(summaries),
-                min_reliability=min(summary.reliability for summary in summaries),
-            )
-        )
-    return points
+    frozen = stabilized.freeze()
+    return [
+        measure_fanout_point(Scenario.thaw(frozen), fanout, messages) for fanout in fanouts
+    ]
+
+
+def measure_fanout_point(scenario: Scenario, fanout: int, messages: int) -> FanoutPoint:
+    """One (protocol, fanout) point on a scenario the caller hands over.
+
+    The scenario is consumed (its gossip fanout is rewired); see
+    :func:`~repro.experiments.failures.measure_failure` for the ownership
+    convention.
+    """
+    for node_id in scenario.node_ids:
+        layer = scenario.broadcast_layer(node_id)
+        assert isinstance(layer, EagerGossip)
+        layer.fanout = fanout
+    summaries = scenario.send_broadcasts(messages)
+    return FanoutPoint(
+        protocol=scenario.protocol,
+        fanout=fanout,
+        messages=messages,
+        average_reliability=average_reliability(summaries),
+        atomic_fraction=atomic_fraction(summaries),
+        min_reliability=min(summary.reliability for summary in summaries),
+    )
 
 
 def hyparview_reference_point(

@@ -37,6 +37,41 @@ class HealingResult:
     max_cycles: int
 
 
+def measure_healing(
+    scenario: Scenario,
+    failure_fraction: float,
+    *,
+    probes_per_cycle: int = 10,
+    max_cycles: int = 30,
+    baseline_probes: int = 10,
+    tolerance: float = 0.001,
+) -> HealingResult:
+    """The Figure 4 measurement on a scenario the caller hands over.
+
+    The scenario is consumed (mutated); see
+    :func:`~repro.experiments.failures.measure_failure` for the ownership
+    convention.
+    """
+    baseline = average_reliability(scenario.send_broadcasts(baseline_probes))
+    scenario.fail_fraction(failure_fraction)
+    per_cycle: list[float] = []
+    for _cycle in range(max_cycles):
+        scenario.run_cycles(1)
+        probes = scenario.send_broadcasts(probes_per_cycle)
+        per_cycle.append(average_reliability(probes))
+        if per_cycle[-1] >= baseline - tolerance:
+            break
+    return HealingResult(
+        protocol=scenario.protocol,
+        n=scenario.params.n,
+        failure_fraction=failure_fraction,
+        baseline_reliability=baseline,
+        per_cycle=tuple(per_cycle),
+        cycles_to_heal=healing_cycles(baseline, per_cycle, tolerance=tolerance),
+        max_cycles=max_cycles,
+    )
+
+
 def run_healing_experiment(
     protocol: str,
     params: ExperimentParams,
@@ -51,23 +86,13 @@ def run_healing_experiment(
     """Count membership cycles until reliability returns to the protocol's
     own pre-failure level (Figure 4)."""
     scenario = base.clone() if base is not None else stabilized_scenario(protocol, params)
-    baseline = average_reliability(scenario.send_broadcasts(baseline_probes))
-    scenario.fail_fraction(failure_fraction)
-    per_cycle: list[float] = []
-    for _cycle in range(max_cycles):
-        scenario.run_cycles(1)
-        probes = scenario.send_broadcasts(probes_per_cycle)
-        per_cycle.append(average_reliability(probes))
-        if per_cycle[-1] >= baseline - tolerance:
-            break
-    return HealingResult(
-        protocol=protocol,
-        n=params.n,
-        failure_fraction=failure_fraction,
-        baseline_reliability=baseline,
-        per_cycle=tuple(per_cycle),
-        cycles_to_heal=healing_cycles(baseline, per_cycle, tolerance=tolerance),
+    return measure_healing(
+        scenario,
+        failure_fraction,
+        probes_per_cycle=probes_per_cycle,
         max_cycles=max_cycles,
+        baseline_probes=baseline_probes,
+        tolerance=tolerance,
     )
 
 

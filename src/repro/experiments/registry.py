@@ -25,6 +25,18 @@ Tiers:
 Adding a scenario is one :func:`register` call; the orchestrator
 (:mod:`repro.experiments.runner`), the ``repro bench`` CLI and the
 benchmark harness all pick it up from :data:`REGISTRY`.
+
+**Cells.**  Grid scenarios (protocol x failure-fraction sweeps, fanout
+sweeps, per-protocol collections) additionally expose their inner grid as
+independent **cells** via three optional hooks — ``cells`` (enumerate the
+grid), ``run_cell`` (execute one cell) and ``merge_cells`` (assemble the
+replicate result) — so the orchestrator can shard a single replicate's
+grid across worker processes.  A cell's result depends only on
+``(scenario, tier config, replicate seed, cell key)``, never on which
+worker runs it or which cells ran before, and ``merge_cells`` reproduces
+*exactly* the dict the monolithic ``run`` returns; artifacts are therefore
+byte-identical whether a replicate ran whole, cell-by-cell in one process,
+or sharded over many.
 """
 
 from __future__ import annotations
@@ -45,12 +57,12 @@ from .failures import (
     FIGURE2_FRACTIONS,
     FIGURE3_FRACTIONS,
     PAPER_PROTOCOLS,
-    run_failure_experiment,
+    measure_failure,
     stabilized_scenario,
 )
-from .fanout import FIGURE1_FANOUTS, hyparview_reference_point, run_fanout_sweep
+from .fanout import FIGURE1_FANOUTS, hyparview_reference_point, measure_fanout_point
 from .graphprops import TABLE1_PROTOCOLS, run_graph_properties
-from .healing import FIGURE4_FRACTIONS, FIGURE4_PROTOCOLS, run_healing_experiment
+from .healing import FIGURE4_FRACTIONS, FIGURE4_PROTOCOLS, measure_healing
 from .overhead import run_overhead_experiment
 from .params import ExperimentParams
 from .reporting import (
@@ -61,6 +73,12 @@ from .reporting import (
     sparkline,
 )
 from .scenario import Scenario
+from .snapshots import SnapshotCache
+
+#: A cell's identity inside one replicate: a flat tuple of primitives
+#: (protocol names, fractions, fanouts ...) — picklable, hashable, and
+#: stable across processes.
+CellKey = tuple
 
 #: The orchestrator's tiers, cheapest first.
 TIER_NAMES = ("smoke", "paper", "full")
@@ -109,6 +127,10 @@ class RunContext:
     config: TierConfig
     replicate: int
     seed: int
+    #: per-worker cache of frozen stabilised bases; ``None`` disables
+    #: caching (every base is rebuilt from scratch).  Never part of the
+    #: replicate's identity — results are independent of cache occupancy.
+    snapshots: Optional[SnapshotCache] = None
 
     def params(self) -> ExperimentParams:
         if self.config.paper_params:
@@ -121,6 +143,37 @@ class RunContext:
 
     def option(self, key: str, default: object) -> object:
         return self.config.option(key, default)
+
+    def ensure_snapshots(self) -> "RunContext":
+        """This context, guaranteed to carry a snapshot cache.
+
+        Monolithic runs (no orchestrator attached) get a private transient
+        cache so a grid still stabilises each protocol once, not once per
+        cell.
+        """
+        if self.snapshots is not None:
+            return self
+        return replace(self, snapshots=SnapshotCache())
+
+    def frozen_base(self, protocol: str) -> bytes:
+        """The frozen stabilised base overlay for ``protocol``.
+
+        Served from the snapshot cache when one is attached; always the
+        same bytes for the same ``(protocol, params)``.
+        """
+        params = self.params()
+        if self.snapshots is None:
+            return stabilized_scenario(protocol, params).freeze()
+        return self.snapshots.frozen(protocol, params)
+
+    def stabilized(self, protocol: str) -> Scenario:
+        """A private, ready-to-mutate stabilised scenario for ``protocol``.
+
+        Every checkout — cached or not — passes through exactly one
+        freeze/thaw round trip since stabilisation, so measured results
+        never depend on where the base came from.
+        """
+        return Scenario.thaw(self.frozen_base(protocol))
 
 
 @dataclass(frozen=True, slots=True)
@@ -135,6 +188,19 @@ class ScenarioSpec:
     run: Callable[[RunContext], dict]
     render: Callable[[dict, int], str]
     check: Optional[Callable[[dict, int], None]] = None
+    #: Optional cell decomposition (see the module docstring): enumerate
+    #: one replicate's independent grid cells, execute one, and merge the
+    #: per-cell results back into exactly what ``run`` would have returned.
+    cells: Optional[Callable[[RunContext], tuple[CellKey, ...]]] = None
+    run_cell: Optional[Callable[[RunContext, CellKey], dict]] = None
+    merge_cells: Optional[Callable[[RunContext, Mapping[CellKey, dict]], dict]] = None
+    #: Maps a cell key to the identity of the stabilised base it reuses
+    #: (orchestrator scheduling hint; default: the key's first component).
+    cell_affinity: Optional[Callable[[CellKey], object]] = None
+
+    @property
+    def supports_cells(self) -> bool:
+        return self.cells is not None
 
     def tier(self, name: str) -> TierConfig:
         if name not in self.tiers:
@@ -154,8 +220,35 @@ def register(spec: ScenarioSpec) -> ScenarioSpec:
     unknown = set(spec.tiers) - set(TIER_NAMES)
     if unknown:
         raise ConfigurationError(f"unknown tiers on {spec.id!r}: {sorted(unknown)}")
+    hooks = (spec.cells, spec.run_cell, spec.merge_cells)
+    if any(hook is not None for hook in hooks) and None in hooks:
+        raise ConfigurationError(
+            f"scenario {spec.id!r} must define cells, run_cell and "
+            f"merge_cells together (or none of them)"
+        )
     REGISTRY[spec.id] = spec
     return spec
+
+
+def celled_run(
+    cells: Callable[[RunContext], tuple[CellKey, ...]],
+    run_cell: Callable[[RunContext, CellKey], dict],
+    merge_cells: Callable[[RunContext, Mapping[CellKey, dict]], dict],
+) -> Callable[[RunContext], dict]:
+    """A monolithic ``run`` derived from a cell decomposition.
+
+    Executes every cell in enumeration order in-process and merges — the
+    single-process reference semantics the sharded orchestrator must (and
+    is tested to) reproduce byte-for-byte.  A transient snapshot cache is
+    attached so grids still stabilise each base once per run, not once per
+    cell, even outside the orchestrator.
+    """
+
+    def run(ctx: RunContext) -> dict:
+        ctx = ctx.ensure_snapshots()
+        return merge_cells(ctx, {key: run_cell(ctx, key) for key in cells(ctx)})
+
+    return run
 
 
 def get_scenario(scenario_id: str) -> ScenarioSpec:
@@ -180,14 +273,32 @@ def _tiers(
     return {"smoke": smoke, "paper": paper, "full": full}
 
 
+def _cell_hooks(cells, run_cell, merge_cells) -> dict:
+    """The four ScenarioSpec fields a cell decomposition defines at once."""
+    return {
+        "run": celled_run(cells, run_cell, merge_cells),
+        "cells": cells,
+        "run_cell": run_cell,
+        "merge_cells": merge_cells,
+    }
+
+
 # ----------------------------------------------------------------------
 # Figure 1a/1b — fanout vs reliability (+ the HyParView reference point)
 # ----------------------------------------------------------------------
-def _run_fanout(ctx: RunContext, protocol: str) -> dict:
-    params = ctx.params()
+def _fanout_cells(ctx: RunContext) -> tuple[CellKey, ...]:
     fanouts = tuple(ctx.option("fanouts", FIGURE1_FANOUTS))  # type: ignore[arg-type]
-    points = run_fanout_sweep(protocol, fanouts, params, messages=ctx.config.messages)
-    return {"protocol": protocol, "points": [json_safe(p) for p in points]}
+    return tuple((int(fanout),) for fanout in fanouts)
+
+
+def _run_fanout_cell(ctx: RunContext, protocol: str, key: CellKey) -> dict:
+    point = measure_fanout_point(ctx.stabilized(protocol), int(key[0]), ctx.config.messages)
+    return json_safe(point)  # type: ignore[return-value]
+
+
+def _merge_fanout(ctx: RunContext, protocol: str, cells: Mapping[CellKey, dict]) -> dict:
+    fanouts = tuple(ctx.option("fanouts", FIGURE1_FANOUTS))  # type: ignore[arg-type]
+    return {"protocol": protocol, "points": [cells[(int(f),)] for f in fanouts]}
 
 
 def _render_fanout(result: dict, n: int) -> str:
@@ -225,9 +336,15 @@ register(
                              extra={"fanouts": (1, 4, 6)}),
             paper=TierConfig(n=10_000, messages=50, paper_params=True),
         ),
-        run=lambda ctx: _run_fanout(ctx, "cyclon"),
         render=_render_fanout,
         check=lambda result, n: _check_fanout(result, n, threshold=0.99),
+        # Every fanout cell floods the same stabilised Cyclon base.
+        cell_affinity=lambda key: "base",
+        **_cell_hooks(
+            _fanout_cells,
+            lambda ctx, key: _run_fanout_cell(ctx, "cyclon", key),
+            lambda ctx, cells: _merge_fanout(ctx, "cyclon", cells),
+        ),
     )
 )
 
@@ -242,9 +359,15 @@ register(
                              extra={"fanouts": (1, 4, 6)}),
             paper=TierConfig(n=10_000, messages=50, paper_params=True),
         ),
-        run=lambda ctx: _run_fanout(ctx, "scamp"),
         render=_render_fanout,
         check=lambda result, n: _check_fanout(result, n, threshold=0.95),
+        # Every fanout cell floods the same stabilised Scamp base.
+        cell_affinity=lambda key: "base",
+        **_cell_hooks(
+            _fanout_cells,
+            lambda ctx, key: _run_fanout_cell(ctx, "scamp", key),
+            lambda ctx, cells: _merge_fanout(ctx, "scamp", cells),
+        ),
     )
 )
 
@@ -290,15 +413,23 @@ register(
 # ----------------------------------------------------------------------
 # Figure 1c — baselines after 50% failures
 # ----------------------------------------------------------------------
-def _run_fig1c(ctx: RunContext) -> dict:
-    params = ctx.params()
-    protocols = tuple(ctx.option("protocols", ("cyclon", "scamp")))  # type: ignore[arg-type]
-    return {
-        protocol: json_safe(
-            run_failure_experiment(protocol, params, 0.5, ctx.config.messages)
-        )
-        for protocol in protocols
-    }
+_FIG1C_PROTOCOLS = ("cyclon", "scamp")
+
+
+def _fig1c_cells(ctx: RunContext) -> tuple[CellKey, ...]:
+    protocols = tuple(ctx.option("protocols", _FIG1C_PROTOCOLS))  # type: ignore[arg-type]
+    return tuple((protocol,) for protocol in protocols)
+
+
+def _run_fig1c_cell(ctx: RunContext, key: CellKey) -> dict:
+    protocol = str(key[0])
+    result = measure_failure(ctx.stabilized(protocol), 0.5, ctx.config.messages)
+    return json_safe(result)  # type: ignore[return-value]
+
+
+def _merge_fig1c(ctx: RunContext, cells: Mapping[CellKey, dict]) -> dict:
+    protocols = tuple(ctx.option("protocols", _FIG1C_PROTOCOLS))  # type: ignore[arg-type]
+    return {protocol: cells[(protocol,)] for protocol in protocols}
 
 
 def _render_fig1c(result: dict, n: int) -> str:
@@ -341,9 +472,9 @@ register(
             smoke=TierConfig(n=64, messages=10, stabilization_cycles=15),
             paper=TierConfig(n=10_000, messages=100, paper_params=True),
         ),
-        run=_run_fig1c,
         render=_render_fig1c,
         check=_check_fig1c,
+        **_cell_hooks(_fig1c_cells, _run_fig1c_cell, _merge_fig1c),
     )
 )
 
@@ -357,21 +488,34 @@ def _failure_grid(ctx: RunContext, default_fractions) -> tuple[tuple[str, ...], 
     return protocols, fractions
 
 
-def _run_failure_grid(ctx: RunContext, default_fractions) -> dict:
-    params = ctx.params()
+def _failure_grid_cells(ctx: RunContext, default_fractions) -> tuple[CellKey, ...]:
     protocols, fractions = _failure_grid(ctx, default_fractions)
-    cells: dict[str, dict[str, object]] = {}
-    for protocol in protocols:
-        base = stabilized_scenario(protocol, params)
-        cells[protocol] = {
-            f"{fraction:.2f}": json_safe(
-                run_failure_experiment(
-                    protocol, params, fraction, ctx.config.messages, base=base
-                )
-            )
-            for fraction in fractions
-        }
-    return {"protocols": list(protocols), "fractions": list(fractions), "cells": cells}
+    return tuple(
+        (protocol, float(fraction)) for protocol in protocols for fraction in fractions
+    )
+
+
+def _run_failure_grid_cell(ctx: RunContext, key: CellKey) -> dict:
+    protocol, fraction = str(key[0]), float(key[1])
+    result = measure_failure(ctx.stabilized(protocol), fraction, ctx.config.messages)
+    return json_safe(result)  # type: ignore[return-value]
+
+
+def _merge_failure_grid(
+    ctx: RunContext, cells: Mapping[CellKey, dict], default_fractions
+) -> dict:
+    protocols, fractions = _failure_grid(ctx, default_fractions)
+    return {
+        "protocols": list(protocols),
+        "fractions": list(fractions),
+        "cells": {
+            protocol: {
+                f"{fraction:.2f}": cells[(protocol, float(fraction))]
+                for fraction in fractions
+            }
+            for protocol in protocols
+        },
+    }
 
 
 def _render_fig2(result: dict, n: int) -> str:
@@ -425,9 +569,13 @@ register(
                              extra={"fractions": (0.3, 0.7)}),
             paper=TierConfig(n=10_000, messages=1_000, paper_params=True),
         ),
-        run=lambda ctx: _run_failure_grid(ctx, FIGURE2_FRACTIONS),
         render=_render_fig2,
         check=_check_fig2,
+        **_cell_hooks(
+            lambda ctx: _failure_grid_cells(ctx, FIGURE2_FRACTIONS),
+            _run_failure_grid_cell,
+            lambda ctx, cells: _merge_failure_grid(ctx, cells, FIGURE2_FRACTIONS),
+        ),
     )
 )
 
@@ -480,9 +628,13 @@ register(
                              extra={"fractions": (0.4, 0.7)}),
             paper=TierConfig(n=10_000, messages=1_000, paper_params=True),
         ),
-        run=lambda ctx: _run_failure_grid(ctx, FIGURE3_FRACTIONS),
         render=_render_fig3,
         check=_check_fig3,
+        **_cell_hooks(
+            lambda ctx: _failure_grid_cells(ctx, FIGURE3_FRACTIONS),
+            _run_failure_grid_cell,
+            lambda ctx, cells: _merge_failure_grid(ctx, cells, FIGURE3_FRACTIONS),
+        ),
     )
 )
 
@@ -490,32 +642,42 @@ register(
 # ----------------------------------------------------------------------
 # Figure 4 — healing time in membership cycles
 # ----------------------------------------------------------------------
-def _run_fig4(ctx: RunContext) -> dict:
-    params = ctx.params()
+def _fig4_cells(ctx: RunContext) -> tuple[CellKey, ...]:
     protocols = tuple(ctx.option("protocols", FIGURE4_PROTOCOLS))  # type: ignore[arg-type]
     fractions = tuple(ctx.option("fractions", FIGURE4_FRACTIONS))  # type: ignore[arg-type]
+    return tuple(
+        (protocol, float(fraction)) for protocol in protocols for fraction in fractions
+    )
+
+
+def _run_fig4_cell(ctx: RunContext, key: CellKey) -> dict:
+    protocol, fraction = str(key[0]), float(key[1])
+    params = ctx.params()
     max_cycles = int(ctx.option("max_cycles", 30))  # type: ignore[arg-type]
-    cells: dict[str, dict[str, object]] = {}
-    for protocol in protocols:
-        base = stabilized_scenario(protocol, params)
-        row = {}
-        for fraction in fractions:
-            # At laptop scale a couple of orphaned survivors would dominate
-            # a strict tolerance; allow two stragglers (see bench history).
-            survivors = max(1, round(params.n * (1 - fraction)))
-            tolerance = max(0.01, 2.0 / survivors)
-            row[f"{fraction:.2f}"] = json_safe(
-                run_healing_experiment(
-                    protocol, params, fraction,
-                    max_cycles=max_cycles, tolerance=tolerance, base=base,
-                )
-            )
-        cells[protocol] = row
+    # At laptop scale a couple of orphaned survivors would dominate
+    # a strict tolerance; allow two stragglers (see bench history).
+    survivors = max(1, round(params.n * (1 - fraction)))
+    tolerance = max(0.01, 2.0 / survivors)
+    result = measure_healing(
+        ctx.stabilized(protocol), fraction, max_cycles=max_cycles, tolerance=tolerance
+    )
+    return json_safe(result)  # type: ignore[return-value]
+
+
+def _merge_fig4(ctx: RunContext, cells: Mapping[CellKey, dict]) -> dict:
+    protocols = tuple(ctx.option("protocols", FIGURE4_PROTOCOLS))  # type: ignore[arg-type]
+    fractions = tuple(ctx.option("fractions", FIGURE4_FRACTIONS))  # type: ignore[arg-type]
     return {
         "protocols": list(protocols),
         "fractions": list(fractions),
-        "max_cycles": max_cycles,
-        "cells": cells,
+        "max_cycles": int(ctx.option("max_cycles", 30)),  # type: ignore[arg-type]
+        "cells": {
+            protocol: {
+                f"{fraction:.2f}": cells[(protocol, float(fraction))]
+                for fraction in fractions
+            }
+            for protocol in protocols
+        },
     }
 
 
@@ -562,9 +724,9 @@ register(
                              extra={"fractions": (0.3, 0.6), "max_cycles": 10}),
             paper=TierConfig(n=10_000, messages=10, paper_params=True),
         ),
-        run=_run_fig4,
         render=_render_fig4,
         check=_check_fig4,
+        **_cell_hooks(_fig4_cells, _run_fig4_cell, _merge_fig4),
     )
 )
 
@@ -572,24 +734,32 @@ register(
 # ----------------------------------------------------------------------
 # Figure 5 / Table 1 — overlay graph properties
 # ----------------------------------------------------------------------
-def _run_graphprops(ctx: RunContext) -> dict:
-    params = ctx.params()
+def _graphprops_cells(ctx: RunContext) -> tuple[CellKey, ...]:
     protocols = tuple(ctx.option("protocols", TABLE1_PROTOCOLS))  # type: ignore[arg-type]
+    return tuple((protocol,) for protocol in protocols)
+
+
+def _run_graphprops_cell(ctx: RunContext, key: CellKey) -> dict:
+    protocol = str(key[0])
     sources = ctx.option("path_sample_sources", 100)
+    result = run_graph_properties(
+        protocol, ctx.params(),
+        messages=ctx.config.messages,
+        path_sample_sources=None if sources is None else int(sources),  # type: ignore[arg-type]
+    )
+    return json_safe(result)  # type: ignore[return-value]
+
+
+def _merge_graphprops(ctx: RunContext, cells: Mapping[CellKey, dict]) -> dict:
+    protocols = tuple(ctx.option("protocols", TABLE1_PROTOCOLS))  # type: ignore[arg-type]
     return {
         # The symmetric-view bound checks need the configured capacity.
-        "active_view_capacity": params.hyparview.active_view_capacity,
-        "protocols": {
-            protocol: json_safe(
-                run_graph_properties(
-                    protocol, params,
-                    messages=ctx.config.messages,
-                    path_sample_sources=None if sources is None else int(sources),  # type: ignore[arg-type]
-                )
-            )
-            for protocol in protocols
-        },
+        "active_view_capacity": ctx.params().hyparview.active_view_capacity,
+        "protocols": {protocol: cells[(protocol,)] for protocol in protocols},
     }
+
+
+_GRAPHPROPS_HOOKS = _cell_hooks(_graphprops_cells, _run_graphprops_cell, _merge_graphprops)
 
 
 def _render_fig5(result: dict, n: int) -> str:
@@ -635,9 +805,9 @@ register(
                              extra={"path_sample_sources": 20}),
             paper=TierConfig(n=10_000, messages=5, paper_params=True),
         ),
-        run=_run_graphprops,
         render=_render_fig5,
         check=_check_fig5,
+        **_GRAPHPROPS_HOOKS,
     )
 )
 
@@ -693,9 +863,9 @@ register(
                              extra={"path_sample_sources": 20}),
             paper=TierConfig(n=10_000, messages=50, paper_params=True),
         ),
-        run=_run_graphprops,
         render=_render_table1,
         check=_check_table1,
+        **_GRAPHPROPS_HOOKS,
     )
 )
 
@@ -703,20 +873,26 @@ register(
 # ----------------------------------------------------------------------
 # Extensions — overhead accounting and continuous churn
 # ----------------------------------------------------------------------
-def _run_overhead(ctx: RunContext) -> dict:
-    params = ctx.params()
-    protocols = tuple(
-        ctx.option("protocols", ("hyparview", "plumtree", "cyclon", "cyclon-acked", "scamp"))  # type: ignore[arg-type]
-    )
+_OVERHEAD_PROTOCOLS = ("hyparview", "plumtree", "cyclon", "cyclon-acked", "scamp")
+
+
+def _overhead_cells(ctx: RunContext) -> tuple[CellKey, ...]:
+    protocols = tuple(ctx.option("protocols", _OVERHEAD_PROTOCOLS))  # type: ignore[arg-type]
+    return tuple((protocol,) for protocol in protocols)
+
+
+def _run_overhead_cell(ctx: RunContext, key: CellKey) -> dict:
+    protocol = str(key[0])
     cycles = int(ctx.option("cycles", 10))  # type: ignore[arg-type]
-    return {
-        protocol: json_safe(
-            run_overhead_experiment(
-                protocol, params, cycles=cycles, messages=ctx.config.messages
-            )
-        )
-        for protocol in protocols
-    }
+    result = run_overhead_experiment(
+        protocol, ctx.params(), cycles=cycles, messages=ctx.config.messages
+    )
+    return json_safe(result)  # type: ignore[return-value]
+
+
+def _merge_overhead(ctx: RunContext, cells: Mapping[CellKey, dict]) -> dict:
+    protocols = tuple(ctx.option("protocols", _OVERHEAD_PROTOCOLS))  # type: ignore[arg-type]
+    return {protocol: cells[(protocol,)] for protocol in protocols}
 
 
 def _render_overhead(result: dict, n: int) -> str:
@@ -758,21 +934,31 @@ register(
                              extra={"cycles": 3}),
             paper=TierConfig(n=10_000, messages=20, paper_params=True),
         ),
-        run=_run_overhead,
         render=_render_overhead,
         check=_check_overhead,
+        **_cell_hooks(_overhead_cells, _run_overhead_cell, _merge_overhead),
     )
 )
 
 
-def _run_churn(ctx: RunContext) -> dict:
-    params = ctx.params()
-    protocols = tuple(ctx.option("protocols", ("hyparview", "cyclon-acked")))  # type: ignore[arg-type]
+_CHURN_PROTOCOLS = ("hyparview", "cyclon-acked")
+
+
+def _churn_cells(ctx: RunContext) -> tuple[CellKey, ...]:
+    protocols = tuple(ctx.option("protocols", _CHURN_PROTOCOLS))  # type: ignore[arg-type]
+    return tuple((protocol,) for protocol in protocols)
+
+
+def _run_churn_cell(ctx: RunContext, key: CellKey) -> dict:
+    protocol = str(key[0])
     steps = int(ctx.option("steps", 60))  # type: ignore[arg-type]
-    return {
-        protocol: json_safe(run_churn_experiment(protocol, params, steps=steps))
-        for protocol in protocols
-    }
+    result = run_churn_experiment(protocol, ctx.params(), steps=steps)
+    return json_safe(result)  # type: ignore[return-value]
+
+
+def _merge_churn(ctx: RunContext, cells: Mapping[CellKey, dict]) -> dict:
+    protocols = tuple(ctx.option("protocols", _CHURN_PROTOCOLS))  # type: ignore[arg-type]
+    return {protocol: cells[(protocol,)] for protocol in protocols}
 
 
 def _render_churn(result: dict, n: int) -> str:
@@ -832,9 +1018,9 @@ register(
             paper=TierConfig(n=10_000, messages=1, paper_params=True,
                              extra={"steps": 200}),
         ),
-        run=_run_churn,
         render=_render_churn,
         check=_check_churn,
+        **_cell_hooks(_churn_cells, _run_churn_cell, _merge_churn),
     )
 )
 

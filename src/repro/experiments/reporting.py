@@ -117,6 +117,28 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def format_timings(
+    scenario_seconds: Mapping[str, float], scenario_units: Mapping[str, int]
+) -> str:
+    """Render per-scenario wall-clock totals for job logs.
+
+    Strictly observability: this output goes to stderr/CI logs and must
+    never be embedded in ``BENCH_*.json`` artifacts, which are required to
+    be deterministic.
+    """
+    if not scenario_seconds:
+        return "per-scenario timings: (none)"
+    rows = [
+        [scenario_id, scenario_units.get(scenario_id, 0), f"{seconds:.2f}s"]
+        for scenario_id, seconds in sorted(scenario_seconds.items())
+    ]
+    return format_table(
+        ["scenario", "units", "worker seconds"],
+        rows,
+        title="per-scenario timings (logs only, never in artifacts)",
+    )
+
+
 def format_percent(value: float) -> str:
     """Render a [0, 1] ratio as a one-decimal percentage string."""
     return f"{100.0 * value:.1f}%"

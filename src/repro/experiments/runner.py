@@ -1,12 +1,38 @@
 """Parallel experiment orchestrator.
 
-Shards replicate runs of registered scenarios across worker processes and
-aggregates them into versioned JSON artifacts.  The unit of work is one
-``(scenario, replicate)`` cell; each cell derives its own root seed from
-the sweep seed via :meth:`SeedSequence.derive_seed`, so the result of a
-cell depends only on ``(root_seed, scenario_id, tier, replicate,
-overrides)`` — never on scheduling.  A run with ``--workers 8`` therefore
-produces byte-identical artifacts to a serial run, which is asserted in CI.
+Shards work across worker processes and aggregates results into versioned
+JSON artifacts.  The schedulable atom is a :class:`WorkUnit`:
+
+* for scenarios with a **cell decomposition** (grid sweeps — see
+  :mod:`repro.experiments.registry`), one unit is one ``(scenario,
+  replicate, cell)`` — e.g. one (protocol, failure-fraction) pair of
+  Figure 2 — so a single replicate's grid fans out over every worker;
+* for monolithic scenarios, one unit is one ``(scenario, replicate)``.
+
+Each replicate derives its root seed from the sweep seed via
+:meth:`SeedSequence.derive_seed`; all cells of a replicate share that seed,
+and a cell's result depends only on ``(root_seed, scenario_id, tier,
+replicate, overrides, cell key)`` — never on scheduling, worker identity or
+cache state.  A run with ``--workers 8`` therefore produces byte-identical
+artifacts to a serial run, with or without cells or the snapshot cache,
+which is asserted in CI.
+
+Workers keep a per-process :class:`~repro.experiments.snapshots.
+SnapshotCache` of frozen stabilised base overlays, so a worker that
+executes many cells of one protocol stabilises the base once and
+rehydrates per cell with a single ``pickle.loads`` — the dominant cost at
+paper scale.  To make that cache effective, the pool's scheduling atom is
+an **affinity chunk**: a run of consecutive cells sharing one stabilised
+base (e.g. every fraction of one protocol in a Figure 2 replicate).
+Chunks are dispatched dynamically, so heterogeneous scenarios still
+balance; when there are fewer chunks than workers, chunks are split so no
+worker idles.  Each base is then stabilised once per worker that touches
+it — usually once per sweep — restoring the session-wide sharing the old
+ScenarioCache provided, but across process boundaries.
+
+Per-unit and per-scenario wall-clock is reported to the progress stream
+(CI job logs) **only** — timings never enter the artifacts, which must
+stay deterministic.
 
 The multiprocessing entry point (:func:`_execute_unit`) is a module-level
 function resolving scenarios by id from the registry, so it works under
@@ -19,26 +45,39 @@ import multiprocessing
 import pathlib
 import sys
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from ..common.errors import ConfigurationError
 from ..common.rng import SeedSequence
 from .registry import (
+    CellKey,
     RunContext,
     ScenarioSpec,
     TierConfig,
     get_scenario,
 )
-from .reporting import ARTIFACT_SCHEMA, write_artifact
+from .reporting import ARTIFACT_SCHEMA, format_timings, write_artifact
+from .snapshots import SnapshotCache
 
 #: Default root seed of a sweep (matches the experiment default).
 DEFAULT_ROOT_SEED = 42
 
+#: Per-worker-process cache of frozen stabilised overlays, created lazily
+#: on first use inside each worker (and shared by serial in-process runs).
+_WORKER_SNAPSHOTS: Optional[SnapshotCache] = None
+
+
+def _worker_snapshots() -> SnapshotCache:
+    global _WORKER_SNAPSHOTS
+    if _WORKER_SNAPSHOTS is None:
+        _WORKER_SNAPSHOTS = SnapshotCache()
+    return _WORKER_SNAPSHOTS
+
 
 @dataclass(frozen=True, slots=True)
 class WorkUnit:
-    """One replicate of one scenario — the schedulable atom.
+    """One schedulable atom: a whole replicate, or one cell of it.
 
     Everything a worker needs travels in this (picklable) record; the
     scenario's code is resolved from the registry inside the worker.
@@ -50,8 +89,17 @@ class WorkUnit:
     root_seed: int
     n: Optional[int] = None
     messages: Optional[int] = None
+    #: ``None`` runs the whole replicate; otherwise one cell key from the
+    #: scenario's ``cells`` enumeration.
+    cell: Optional[CellKey] = None
+    #: whether the executing worker may serve stabilised bases from its
+    #: snapshot cache (results are identical either way; this is purely
+    #: a speed/memory knob).
+    snapshot_cache: bool = True
 
-    def resolve(self) -> tuple[ScenarioSpec, RunContext]:
+    def resolve(
+        self, snapshots: Optional[SnapshotCache] = None
+    ) -> tuple[ScenarioSpec, RunContext]:
         spec = get_scenario(self.scenario_id)
         config = _apply_overrides(spec.tier(self.tier), self.n, self.messages)
         seed = replicate_seed(self.root_seed, self.scenario_id, self.replicate)
@@ -61,12 +109,27 @@ class WorkUnit:
             config=config,
             replicate=self.replicate,
             seed=seed,
+            snapshots=snapshots,
         )
         return spec, context
 
+    def describe(self) -> str:
+        label = f"{self.scenario_id} replicate {self.replicate}"
+        if self.cell is not None:
+            label += f" cell {_cell_label(self.cell)}"
+        return label
+
+
+def _cell_label(cell: CellKey) -> str:
+    return "/".join(str(part) for part in cell)
+
 
 def replicate_seed(root_seed: int, scenario_id: str, replicate: int) -> int:
-    """The deterministic seed of one replicate cell (scheduling-independent)."""
+    """The deterministic seed of one replicate (scheduling-independent).
+
+    Cells of one replicate share the seed: the monolithic run and the
+    sharded cells must observe identical randomness.
+    """
     return SeedSequence(root_seed).derive_seed(
         f"bench/{scenario_id}/replicate/{replicate}"
     )
@@ -82,11 +145,88 @@ def _apply_overrides(
     return config
 
 
-def _execute_unit(unit: WorkUnit) -> tuple[str, int, int, dict]:
-    """Worker entry point: run one replicate, return its keyed result."""
-    spec, context = unit.resolve()
-    result = spec.run(context)
-    return unit.scenario_id, unit.replicate, context.seed, result
+@dataclass(frozen=True, slots=True)
+class UnitOutcome:
+    """What a worker sends back for one unit.
+
+    ``elapsed`` is observability only (logged, never persisted): artifacts
+    are assembled exclusively from ``result`` and the deterministic keys.
+    """
+
+    scenario_id: str
+    replicate: int
+    cell: Optional[CellKey]
+    seed: int
+    result: dict
+    elapsed: float
+
+
+def _affinity_key(unit: WorkUnit) -> tuple:
+    """Units with equal keys reuse one stabilised base (cache affinity).
+
+    The first cell component is the protocol for grid scenarios — the
+    component that selects the base overlay.  Scenarios whose cells all
+    share one base (fanout sweeps) declare ``cell_affinity`` in their spec
+    to collapse the whole replicate into one chunk.
+    """
+    if unit.cell is None:
+        return (unit.scenario_id, unit.replicate, None)
+    spec = get_scenario(unit.scenario_id)
+    if spec.cell_affinity is not None:
+        return (unit.scenario_id, unit.replicate, spec.cell_affinity(unit.cell))
+    return (unit.scenario_id, unit.replicate, unit.cell[0])
+
+
+def build_chunks(units: Sequence[WorkUnit], workers: int) -> list[list[WorkUnit]]:
+    """Partition units into the pool's scheduling atoms.
+
+    Consecutive units sharing an affinity key form one chunk, executed
+    serially by one worker against one cached base.  If that yields fewer
+    chunks than workers (a single-grid sweep on a wide pool), chunks are
+    split evenly — extra base stabilisations, but no idle workers.
+    """
+    chunks: list[list[WorkUnit]] = []
+    previous: Optional[tuple] = None
+    for unit in units:
+        key = _affinity_key(unit)
+        if previous is not None and key == previous:
+            chunks[-1].append(unit)
+        else:
+            chunks.append([unit])
+        previous = key
+    pieces = -(-workers // len(chunks)) if 0 < len(chunks) < workers else 1
+    if pieces > 1:
+        split: list[list[WorkUnit]] = []
+        for chunk in chunks:
+            size = -(-len(chunk) // pieces)  # ceil division
+            split.extend(chunk[i:i + size] for i in range(0, len(chunk), size))
+        chunks = split
+    return chunks
+
+
+def _execute_chunk(chunk: list[WorkUnit]) -> list[UnitOutcome]:
+    """Worker entry point for one affinity chunk (units run in order)."""
+    return [_execute_unit(unit) for unit in chunk]
+
+
+def _execute_unit(unit: WorkUnit) -> UnitOutcome:
+    """Worker entry point: run one unit, return its keyed result."""
+    started = time.perf_counter()
+    snapshots = _worker_snapshots() if unit.snapshot_cache else None
+    spec, context = unit.resolve(snapshots)
+    if unit.cell is None:
+        result = spec.run(context)
+    else:
+        assert spec.run_cell is not None  # build_units only emits cells for celled specs
+        result = spec.run_cell(context, unit.cell)
+    return UnitOutcome(
+        scenario_id=unit.scenario_id,
+        replicate=unit.replicate,
+        cell=unit.cell,
+        seed=context.seed,
+        result=result,
+        elapsed=time.perf_counter() - started,
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,6 +279,29 @@ class ScenarioRun:
             self.spec.check(record["result"], self.config.n)
 
 
+@dataclass
+class SweepTimings:
+    """Wall-clock accounting for one orchestrator sweep (logs only).
+
+    Collected from :class:`UnitOutcome.elapsed`; deliberately kept outside
+    :class:`ScenarioRun` so nothing timing-shaped can leak into artifacts.
+    """
+
+    #: scenario id -> summed worker-seconds over its units.
+    scenario_seconds: dict[str, float] = field(default_factory=dict)
+    #: scenario id -> unit count.
+    scenario_units: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def record(self, outcome: UnitOutcome) -> None:
+        self.scenario_seconds[outcome.scenario_id] = (
+            self.scenario_seconds.get(outcome.scenario_id, 0.0) + outcome.elapsed
+        )
+        self.scenario_units[outcome.scenario_id] = (
+            self.scenario_units.get(outcome.scenario_id, 0) + 1
+        )
+
+
 def build_units(
     scenario_ids: Sequence[str],
     tier: str,
@@ -147,8 +310,16 @@ def build_units(
     n: Optional[int] = None,
     messages: Optional[int] = None,
     replicates: Optional[int] = None,
+    cells: bool = True,
+    snapshot_cache: bool = True,
 ) -> list[WorkUnit]:
-    """Expand scenarios into the flat, deterministic work-unit list."""
+    """Expand scenarios into the flat, deterministic work-unit list.
+
+    With ``cells`` (the default), scenarios that expose a cell
+    decomposition are expanded to one unit per ``(replicate, cell)``, in
+    the scenario's own enumeration order — protocol-major for grid sweeps,
+    which the pool's chunking turns into per-worker cache affinity.
+    """
     units: list[WorkUnit] = []
     for scenario_id in scenario_ids:
         spec = get_scenario(scenario_id)
@@ -157,16 +328,23 @@ def build_units(
         if count < 1:
             raise ConfigurationError(f"replicates must be >= 1: {count}")
         for replicate in range(count):
-            units.append(
-                WorkUnit(
-                    scenario_id=scenario_id,
-                    tier=tier,
-                    replicate=replicate,
-                    root_seed=root_seed,
-                    n=n,
-                    messages=messages,
-                )
+            whole = WorkUnit(
+                scenario_id=scenario_id,
+                tier=tier,
+                replicate=replicate,
+                root_seed=root_seed,
+                n=n,
+                messages=messages,
+                snapshot_cache=snapshot_cache,
             )
+            if cells and spec.supports_cells:
+                assert spec.cells is not None
+                _, context = whole.resolve()
+                units.extend(
+                    replace(whole, cell=key) for key in spec.cells(context)
+                )
+            else:
+                units.append(whole)
     return units
 
 
@@ -179,37 +357,61 @@ def run_scenarios(
     n: Optional[int] = None,
     messages: Optional[int] = None,
     replicates: Optional[int] = None,
+    cells: bool = True,
+    snapshot_cache: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    timings: Optional[SweepTimings] = None,
 ) -> dict[str, ScenarioRun]:
-    """Run scenarios at ``tier``, sharding replicates over ``workers``.
+    """Run scenarios at ``tier``, sharding work units over ``workers``.
 
     Returns runs keyed by scenario id, replicates ordered by index —
-    identical regardless of worker count or completion order.
+    identical regardless of worker count, cell splitting, snapshot
+    caching or completion order.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1: {workers}")
+    started = time.perf_counter()
     units = build_units(
         scenario_ids, tier,
         root_seed=root_seed, n=n, messages=messages, replicates=replicates,
+        cells=cells, snapshot_cache=snapshot_cache,
     )
-    completed: list[tuple[str, int, int, dict]] = []
+    unit_by_key = {(u.scenario_id, u.replicate, u.cell): u for u in units}
+    completed: list[UnitOutcome] = []
+
+    def note(outcome: UnitOutcome) -> None:
+        completed.append(outcome)
+        if timings is not None:
+            timings.record(outcome)
+        if progress is not None:
+            unit = unit_by_key[(outcome.scenario_id, outcome.replicate, outcome.cell)]
+            progress(f"{unit.describe()} done in {outcome.elapsed:.2f}s")
+
     if workers == 1 or len(units) == 1:
         for unit in units:
-            completed.append(_execute_unit(unit))
-            if progress is not None:
-                progress(f"{unit.scenario_id} replicate {unit.replicate} done")
+            note(_execute_unit(unit))
     else:
         context = multiprocessing.get_context(_start_method())
-        with context.Pool(processes=min(workers, len(units))) as pool:
-            for outcome in pool.imap_unordered(_execute_unit, units):
-                completed.append(outcome)
-                if progress is not None:
-                    progress(f"{outcome[0]} replicate {outcome[1]} done")
+        chunks = build_chunks(units, workers)
+        with context.Pool(processes=min(workers, len(chunks))) as pool:
+            for outcomes in pool.imap_unordered(_execute_chunk, chunks):
+                for outcome in outcomes:
+                    note(outcome)
+    if timings is not None:
+        timings.wall_seconds += time.perf_counter() - started
+
     # Reassemble deterministically: completion order is scheduling noise.
-    by_cell = {
-        (scenario_id, replicate): (seed, result)
-        for scenario_id, replicate, seed, result in completed
-    }
+    whole_results: dict[tuple[str, int], tuple[int, dict]] = {}
+    cell_results: dict[tuple[str, int], dict[CellKey, dict]] = {}
+    cell_seeds: dict[tuple[str, int], int] = {}
+    for outcome in completed:
+        key = (outcome.scenario_id, outcome.replicate)
+        if outcome.cell is None:
+            whole_results[key] = (outcome.seed, outcome.result)
+        else:
+            cell_results.setdefault(key, {})[outcome.cell] = outcome.result
+            cell_seeds[key] = outcome.seed
+
     runs: dict[str, ScenarioRun] = {}
     for scenario_id in scenario_ids:
         spec = get_scenario(scenario_id)
@@ -219,7 +421,17 @@ def run_scenarios(
             config = replace(config, replicates=replicates)
         records = []
         for replicate in range(count):
-            seed, result = by_cell[(scenario_id, replicate)]
+            key = (scenario_id, replicate)
+            if key in whole_results:
+                seed, result = whole_results[key]
+            else:
+                assert spec.merge_cells is not None
+                seed = cell_seeds[key]
+                _, context = WorkUnit(
+                    scenario_id=scenario_id, tier=tier, replicate=replicate,
+                    root_seed=root_seed, n=n, messages=messages,
+                ).resolve()
+                result = spec.merge_cells(context, cell_results[key])
             records.append({"replicate": replicate, "seed": seed, "result": result})
         runs[scenario_id] = ScenarioRun(
             spec=spec,
@@ -256,29 +468,34 @@ def run_and_report(
     n: Optional[int] = None,
     messages: Optional[int] = None,
     replicates: Optional[int] = None,
+    cells: bool = True,
+    snapshot_cache: bool = True,
     out_dir: Optional[pathlib.Path | str] = None,
     check: bool = False,
     stream=None,
 ) -> dict[str, ScenarioRun]:
     """The CLI's whole job: run, render, optionally check and persist.
 
-    Timing is reported to ``stream`` (default stderr) only — it never
-    enters the artifacts, which must stay deterministic.
+    Timing (per unit, per scenario, total) is reported to ``stream``
+    (default stderr) only — it never enters the artifacts, which must
+    stay deterministic.
     """
     stream = stream if stream is not None else sys.stderr
-    started = time.perf_counter()
+    timings = SweepTimings()
     runs = run_scenarios(
         scenario_ids, tier,
         workers=workers, root_seed=root_seed,
         n=n, messages=messages, replicates=replicates,
+        cells=cells, snapshot_cache=snapshot_cache,
         progress=lambda note: print(f"  [{tier}] {note}", file=stream),
+        timings=timings,
     )
-    elapsed = time.perf_counter() - started
     print(
         f"ran {len(scenario_ids)} scenario(s) at tier {tier!r} with "
-        f"{workers} worker(s) in {elapsed:.1f}s",
+        f"{workers} worker(s) in {timings.wall_seconds:.1f}s",
         file=stream,
     )
+    print(format_timings(timings.scenario_seconds, timings.scenario_units), file=stream)
     if out_dir is not None:
         for path in write_artifacts(runs, out_dir):
             print(f"  wrote {path}", file=stream)
@@ -286,3 +503,44 @@ def run_and_report(
         for run in runs.values():
             run.check()
     return runs
+
+
+def profile_unit(
+    scenario_id: str,
+    tier: str,
+    *,
+    root_seed: int = DEFAULT_ROOT_SEED,
+    n: Optional[int] = None,
+    messages: Optional[int] = None,
+    unit_index: int = 0,
+    top: int = 20,
+    stream=None,
+) -> None:
+    """Run one work unit under ``cProfile`` and print the top entries.
+
+    ``repro bench --profile``'s backend: profiles the first cell (or the
+    whole replicate for monolithic scenarios) of ``scenario_id`` at
+    ``tier`` scale, in-process, and prints the ``top`` functions by
+    cumulative time to ``stream`` (default stdout).
+    """
+    import cProfile
+    import pstats
+
+    stream = stream if stream is not None else sys.stdout
+    units = build_units(
+        [scenario_id], tier, root_seed=root_seed, n=n, messages=messages, replicates=1,
+    )
+    if not 0 <= unit_index < len(units):
+        raise ConfigurationError(
+            f"unit index {unit_index} out of range: {scenario_id!r} at tier "
+            f"{tier!r} has {len(units)} unit(s)"
+        )
+    unit = units[unit_index]
+    print(f"profiling {unit.describe()} at tier {tier!r} ...", file=stream)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    outcome = _execute_unit(unit)
+    profiler.disable()
+    print(f"unit finished in {outcome.elapsed:.2f}s; top {top} by cumulative time:",
+          file=stream)
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(top)

@@ -1,0 +1,95 @@
+"""Per-worker cache of frozen, stabilised base overlays.
+
+Building and stabilising an overlay is by far the most expensive prefix of
+every failure/healing/fanout experiment — at paper scale (n = 10 000) it
+dominates wall-clock.  Grid scenarios measure many cells against the *same*
+stabilised base (one per protocol), so each worker process keeps a small
+LRU of ``Scenario.freeze()`` blobs keyed by ``(protocol, params)`` and
+rehydrates a private copy per cell with one ``pickle.loads``.
+
+Determinism: a cache *hit* and a cache *miss* hand out byte-identical
+state — the miss path freezes the freshly stabilised scenario and thaws it
+back, so every checkout (first or hundredth, cached or not) passes through
+the same pickle round trip.  A scenario's measured results therefore never
+depend on cache occupancy, worker identity or checkout order, which is
+what keeps ``BENCH_*.json`` artifacts byte-identical across ``--workers``
+and ``--no-snapshot-cache`` settings.
+
+The cache is bounded (default 4 blobs) because paper-scale blobs are tens
+of megabytes: a worker sweeping one scenario touches at most one blob per
+protocol, and the LRU keeps exactly the working set of the grid it is
+currently sharded over.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..common.errors import ConfigurationError
+from .failures import stabilized_scenario
+from .params import ExperimentParams
+from .scenario import Scenario
+
+#: Default number of frozen bases kept per worker process.
+DEFAULT_CAPACITY = 4
+
+
+class SnapshotCache:
+    """LRU of frozen stabilised overlays, keyed by ``(protocol, params)``.
+
+    ``params`` (an :class:`ExperimentParams`, frozen and hashable) includes
+    the seed, so two replicates — or two scenarios — never share a base
+    unless their entire configuration matches exactly.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"snapshot cache capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._blobs: OrderedDict[tuple[str, ExperimentParams], bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def frozen(self, protocol: str, params: ExperimentParams) -> bytes:
+        """The frozen base blob for ``(protocol, params)``.
+
+        On a miss the base is built, stabilised and frozen; always the
+        same bytes for the same key, regardless of hit/miss history.
+        """
+        key = (protocol, params)
+        frozen = self._blobs.get(key)
+        if frozen is None:
+            self.misses += 1
+            frozen = stabilized_scenario(protocol, params).freeze()
+            self._blobs[key] = frozen
+            while len(self._blobs) > self.capacity:
+                self._blobs.popitem(last=False)
+                self.evictions += 1
+        else:
+            self.hits += 1
+            self._blobs.move_to_end(key)
+        return frozen
+
+    def checkout(self, protocol: str, params: ExperimentParams) -> Scenario:
+        """A private, ready-to-mutate stabilised scenario.
+
+        A fresh thaw of :meth:`frozen`; the caller owns it outright (no
+        cloning needed before mutating).
+        """
+        return Scenario.thaw(self.frozen(protocol, params))
+
+    def clear(self) -> None:
+        self._blobs.clear()
+
+    def stats(self) -> dict:
+        """Counters for logging (never for artifacts)."""
+        return {
+            "entries": len(self._blobs),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

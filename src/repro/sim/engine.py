@@ -2,9 +2,8 @@
 
 This is the substrate the paper gets from PeerSim [11]: a priority queue of
 timestamped events plus helpers for periodic (cycle-driven) behaviour.  The
-kernel is deliberately minimal and fast — a heap of ``(time, seq, event)``
-tuples — because reproduction experiments push millions of message events
-through it.
+kernel is deliberately minimal and fast — a heap of plain tuples — because
+reproduction experiments push millions of message events through it.
 
 Two driving styles are supported, matching PeerSim's two modes:
 
@@ -13,6 +12,24 @@ Two driving styles are supported, matching PeerSim's two modes:
 * **cycle-driven** — the experiment harness invokes protocol cycles
   explicitly and drains the resulting event cascade between cycles, which is
   exactly how the paper alternates "membership cycles" and message batches.
+
+Two scheduling APIs serve two traffic classes:
+
+* :meth:`Engine.schedule` / :meth:`Engine.schedule_at` return a cancellable
+  :class:`EventHandle` — for timers, which protocols routinely cancel;
+* :meth:`Engine.post` / :meth:`Engine.post_at` are the allocation-light fast
+  path for events that are *never* cancelled (message deliveries, probe
+  results): no handle object is created, the heap holds a bare
+  ``(time, seq, callback, args)`` tuple.  Both kinds coexist in one heap —
+  the unique per-engine sequence number guarantees tuple comparison never
+  reaches the third element.
+
+Cancellation stays O(1) and lazy, but the engine now *counts* lazily
+cancelled events and compacts the heap whenever they outnumber the live
+ones (beyond a small floor), so a workload that cancels millions of timers
+— e.g. per-message retransmit timers that are almost always acked — no
+longer drags a dead heap behind it.  :attr:`Engine.live_pending` reports
+the true outstanding-event count.
 """
 
 from __future__ import annotations
@@ -24,24 +41,43 @@ from typing import Any, Callable, Optional
 from ..common.errors import SimulationError
 from ..common.interfaces import TimerHandle
 
+#: Compaction never triggers below this many cancelled events: tiny heaps
+#: are cheap to carry and rebuilding them would cost more than it saves.
+COMPACTION_FLOOR = 64
+
 
 class EventHandle(TimerHandle):
     """Handle for a scheduled event; cancellation is O(1) (lazy removal)."""
 
-    __slots__ = ("time", "_callback", "_args", "_cancelled")
+    __slots__ = ("time", "_callback", "_args", "_cancelled", "_engine")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: tuple) -> None:
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        engine: Optional["Engine"] = None,
+    ) -> None:
         self.time = time
         self._callback: Optional[Callable[..., None]] = callback
         self._args = args
         self._cancelled = False
+        # Back-reference while the event sits in the queue, so cancellation
+        # can be counted; cleared when the event fires or is compacted away.
+        self._engine = engine
 
     def cancel(self) -> None:
+        if self._cancelled:
+            return
         self._cancelled = True
         # Drop references so cancelled events pinned in the heap do not keep
         # large object graphs alive.
         self._callback = None
         self._args = ()
+        engine = self._engine
+        if engine is not None:
+            self._engine = None
+            engine._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -61,9 +97,12 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._queue: list[tuple[float, int, EventHandle]] = []
+        # Entries are (time, seq, EventHandle) for cancellable timers and
+        # (time, seq, callback, args) for post()ed fire-and-forget events.
+        self._queue: list[tuple] = []
         self._sequence = count()
         self._processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -72,19 +111,36 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of queued events, including lazily-cancelled ones."""
+        """Number of queued events, *including* lazily-cancelled ones.
+
+        For "is there outstanding work?" checks use :attr:`live_pending`
+        instead — a heap full of cancelled timers is not pending work.
+        """
         return len(self._queue)
+
+    @property
+    def live_pending(self) -> int:
+        """Number of queued events that will actually fire."""
+        return len(self._queue) - self._cancelled
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Number of lazily-cancelled events still occupying the heap."""
+        return self._cancelled
 
     @property
     def processed(self) -> int:
         """Total events fired since the engine was created."""
         return self._processed
 
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
-        handle = EventHandle(when, callback, args)
+        handle = EventHandle(when, callback, args, self)
         heapq.heappush(self._queue, (when, next(self._sequence), handle))
         return handle
 
@@ -94,16 +150,70 @@ class Engine:
             raise SimulationError(f"negative delay: {delay}")
         return self.schedule_at(self._now + delay, callback, *args)
 
+    def post_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fast path: schedule a *non-cancellable* event at time ``when``.
+
+        No handle is allocated; the heap entry is a bare tuple.  Use for
+        high-volume events nothing ever cancels (message deliveries).
+        """
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
+        heapq.heappush(self._queue, (when, next(self._sequence), callback, args))
+
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fast path: :meth:`post_at` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._sequence), callback, args)
+        )
+
+    # ------------------------------------------------------------------
+    # Compaction of lazily-cancelled events
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if self._cancelled > COMPACTION_FLOOR and self._cancelled * 2 > len(self._queue):
+            self.compact()
+
+    def compact(self) -> int:
+        """Physically remove lazily-cancelled events; returns how many.
+
+        Rebuilds in place (the queue list keeps its identity) so run loops
+        holding a local reference to the queue observe the compaction.
+        """
+        if not self._cancelled:
+            return 0
+        queue = self._queue
+        kept = [entry for entry in queue if not (len(entry) == 3 and entry[2]._cancelled)]
+        removed = len(queue) - len(kept)
+        queue[:] = kept
+        heapq.heapify(queue)
+        self._cancelled = 0
+        return removed
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the earliest event.  Returns ``False`` when the queue is
         empty (time does not advance in that case)."""
-        while self._queue:
-            when, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = when
-            self._processed += 1
-            handle._fire()
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            if len(entry) == 3:
+                handle = entry[2]
+                if handle._cancelled:
+                    self._cancelled -= 1
+                    continue
+                handle._engine = None
+                self._now = entry[0]
+                self._processed += 1
+                handle._fire()
+            else:
+                self._now = entry[0]
+                self._processed += 1
+                entry[2](*entry[3])
             return True
         return False
 
@@ -114,11 +224,33 @@ class Engine:
         schedules unboundedly); exceeding it raises :class:`SimulationError`
         instead of hanging the test suite.
         """
+        # The drain loop is the hottest code in the simulator: pop and
+        # dispatch inline rather than paying a step() call per event.
+        queue = self._queue
+        pop = heapq.heappop
         fired = 0
-        while self.step():
-            fired += 1
-            if max_events is not None and fired > max_events:
-                raise SimulationError(f"run_until_idle exceeded {max_events} events — runaway cascade?")
+        try:
+            while queue:
+                entry = pop(queue)
+                if len(entry) == 3:
+                    handle = entry[2]
+                    if handle._cancelled:
+                        self._cancelled -= 1
+                        continue
+                    handle._engine = None
+                    self._now = entry[0]
+                    fired += 1
+                    handle._callback(*handle._args)
+                else:
+                    self._now = entry[0]
+                    fired += 1
+                    entry[2](*entry[3])
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(
+                        f"run_until_idle exceeded {max_events} events — runaway cascade?"
+                    )
+        finally:
+            self._processed += fired
         return fired
 
     def run_until(self, deadline: float) -> int:
@@ -126,18 +258,29 @@ class Engine:
         clock to ``deadline``.  Returns the number of events fired."""
         if deadline < self._now:
             raise SimulationError(f"deadline in the past: {deadline} < {self._now}")
+        queue = self._queue
+        pop = heapq.heappop
         fired = 0
-        while self._queue:
-            when, _seq, handle = self._queue[0]
-            if when > deadline:
-                break
-            heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = when
-            self._processed += 1
-            handle._fire()
-            fired += 1
+        try:
+            while queue:
+                if queue[0][0] > deadline:
+                    break
+                entry = pop(queue)
+                if len(entry) == 3:
+                    handle = entry[2]
+                    if handle._cancelled:
+                        self._cancelled -= 1
+                        continue
+                    handle._engine = None
+                    self._now = entry[0]
+                    fired += 1
+                    handle._callback(*handle._args)
+                else:
+                    self._now = entry[0]
+                    fired += 1
+                    entry[2](*entry[3])
+        finally:
+            self._processed += fired
         self._now = deadline
         return fired
 

@@ -150,7 +150,7 @@ class Network:
         if watchers:
             for watcher, callback in watchers.items():
                 delay = self.latency.delay(node_id, watcher, self._rng)
-                self.engine.schedule(delay, self._notify_link_down, watcher, node_id, callback)
+                self.engine.post(delay, self._notify_link_down, watcher, node_id, callback)
         # The crashed node's own held connections die with it: purge its
         # outgoing watch registrations so a later revived incarnation never
         # receives callbacks wired to the dead protocol instance.
@@ -217,31 +217,36 @@ class Network:
 
         With ``on_failure`` the send is reliable (TCP semantics); without it
         the send is a datagram.  See the module docstring.
+
+        Deliveries ride the engine's handle-free :meth:`~repro.sim.engine.
+        Engine.post` fast path — nothing ever cancels an in-flight message,
+        and experiments push millions of them.
         """
-        self.stats.sent += 1
-        self.stats.messages_by_type[type(message).__name__] += 1
+        stats = self.stats
+        stats.sent += 1
+        stats.messages_by_type[type(message).__name__] += 1
         if self.trace is not None:
             self.trace.record(self.engine.now, "send", src, dst, message)
         delay = self.latency.delay(src, dst, self._rng)
         if on_failure is not None:
             if self.reachable(src, dst):
-                self.engine.schedule(delay, self._deliver_reliable, src, dst, message, on_failure)
+                self.engine.post(delay, self._deliver_reliable, src, dst, message, on_failure)
             else:
                 # TCP reset / connect failure: the sender learns after one
                 # network delay that the peer is gone.
-                self.engine.schedule(delay, self._notify_failure, src, dst, message, on_failure)
+                self.engine.post(delay, self._notify_failure, src, dst, message, on_failure)
             return
         if not self.reachable(src, dst):
-            self.stats.dropped_dead += 1
+            stats.dropped_dead += 1
             if self.trace is not None:
                 self.trace.record(self.engine.now, "drop-dead", src, dst, message)
             return
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
-            self.stats.dropped_loss += 1
+            stats.dropped_loss += 1
             if self.trace is not None:
                 self.trace.record(self.engine.now, "drop-loss", src, dst, message)
             return
-        self.engine.schedule(delay, self._deliver, src, dst, message)
+        self.engine.post(delay, self._deliver, src, dst, message)
 
     def watch(self, src: NodeId, dst: NodeId, on_down: Callable[[NodeId], None]) -> None:
         """``src`` holds an open connection to ``dst`` (Transport.watch).
@@ -251,7 +256,7 @@ class Network:
         """
         if dst not in self._alive:
             delay = self.latency.delay(dst, src, self._rng)
-            self.engine.schedule(delay, self._notify_link_down, src, dst, on_down)
+            self.engine.post(delay, self._notify_link_down, src, dst, on_down)
             return
         self._watchers.setdefault(dst, {})[src] = on_down
 
@@ -277,7 +282,7 @@ class Network:
         ok = self.reachable(src, dst)
         if self.trace is not None:
             self.trace.record(self.engine.now, "probe", src, dst, None)
-        self.engine.schedule(rtt, self._probe_result, src, dst, ok, on_result)
+        self.engine.post(rtt, self._probe_result, src, dst, ok, on_result)
 
     # ------------------------------------------------------------------
     # Internal delivery machinery

@@ -18,11 +18,14 @@ class SimTransport(Transport):
     about one implementation.
     """
 
-    __slots__ = ("_network", "_local")
+    __slots__ = ("_network", "_local", "_network_send")
 
     def __init__(self, network: Network, local: NodeId) -> None:
         self._network = network
         self._local = local
+        # send() is the hottest call in the simulator; pre-binding the
+        # network method skips two attribute lookups per message.
+        self._network_send = network.send
 
     @property
     def local_address(self) -> NodeId:
@@ -34,7 +37,7 @@ class SimTransport(Transport):
         message: Message,
         on_failure: Optional[FailureCallback] = None,
     ) -> None:
-        self._network.send(self._local, dst, message, on_failure)
+        self._network_send(self._local, dst, message, on_failure)
 
     def probe(self, dst: NodeId, on_result: ProbeCallback) -> None:
         self._network.probe(self._local, dst, on_result)

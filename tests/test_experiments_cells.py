@@ -1,0 +1,221 @@
+"""Cell sharding, snapshot cache and freeze/thaw determinism tests.
+
+The orchestrator's contract: ``BENCH_*.json`` artifacts are a pure
+function of ``(root_seed, scenario, tier, overrides)`` — byte-identical
+across worker counts, cell splitting on/off, snapshot cache on/off, and
+identical to the monolithic single-process reference run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.experiments.failures import stabilized_scenario
+from repro.experiments.params import ExperimentParams
+from repro.experiments.registry import get_scenario
+from repro.experiments.reporting import encode_artifact
+from repro.experiments.runner import (
+    SweepTimings,
+    build_chunks,
+    build_units,
+    run_scenarios,
+    write_artifacts,
+)
+from repro.experiments.scenario import Scenario
+from repro.experiments.snapshots import SnapshotCache
+
+#: The headline grid scenario (protocol x fraction cells) at toy scale.
+GRID_ID = "fig2_reliability"
+TINY = dict(n=32, messages=2)
+
+
+def _artifact_bytes(runs) -> dict[str, str]:
+    return {scenario_id: encode_artifact(run.artifact()) for scenario_id, run in runs.items()}
+
+
+def _edges(scenario: Scenario) -> dict:
+    snapshot = scenario.snapshot()
+    return {node: snapshot.out_neighbors(node) for node in snapshot.nodes()}
+
+
+class TestCellEnumeration:
+    def test_grid_scenario_expands_to_protocol_x_fraction(self):
+        spec = get_scenario(GRID_ID)
+        assert spec.supports_cells
+        units = build_units([GRID_ID], "smoke", **TINY)
+        smoke = spec.tier("smoke")
+        protocols = 4  # PAPER_PROTOCOLS
+        fractions = len(smoke.extra["fractions"])
+        assert len(units) == protocols * fractions
+        assert all(unit.cell is not None for unit in units)
+        assert len({unit.cell for unit in units}) == len(units)
+
+    def test_cells_off_collapses_to_one_unit_per_replicate(self):
+        units = build_units([GRID_ID], "smoke", cells=False, **TINY)
+        assert len(units) == 1
+        assert units[0].cell is None
+
+    def test_monolithic_scenarios_unaffected_by_cells_flag(self):
+        for flag in (True, False):
+            units = build_units(["fig1_hyparview_reference"], "smoke", cells=flag, **TINY)
+            assert len(units) == 1
+            assert units[0].cell is None
+
+    def test_merge_reproduces_monolithic_run(self):
+        """Cells + merge executed by hand equal spec.run exactly."""
+        spec = get_scenario(GRID_ID)
+        units = build_units([GRID_ID], "smoke", **TINY)
+        _, context = units[0].resolve()
+        cell_results = {
+            unit.cell: spec.run_cell(unit.resolve()[1], unit.cell) for unit in units
+        }
+        merged = spec.merge_cells(context, cell_results)
+        assert merged == spec.run(context)
+
+
+class TestAffinityChunks:
+    def test_chunks_group_cells_by_protocol(self):
+        units = build_units([GRID_ID], "smoke", **TINY)
+        chunks = build_chunks(units, 4)
+        assert len(chunks) == 4  # one per protocol
+        for chunk in chunks:
+            assert len({unit.cell[0] for unit in chunk}) == 1
+
+    def test_chunks_split_when_fewer_than_workers(self):
+        units = build_units([GRID_ID], "smoke", **TINY)  # 4 affinity groups
+        for workers in (5, 6, 8, 16):
+            chunks = build_chunks(units, workers)
+            # No worker may idle while another runs a multi-cell chain.
+            assert len(chunks) >= min(workers, len(units))
+
+    def test_chunks_cover_all_units_exactly_once(self):
+        units = build_units([GRID_ID, "churn", "fig1a_cyclon_fanout"], "smoke", **TINY)
+        chunks = build_chunks(units, 6)
+        flattened = [unit for chunk in chunks for unit in chunk]
+        assert sorted(map(repr, flattened)) == sorted(map(repr, units))
+
+    def test_fanout_cells_form_one_affinity_group(self):
+        units = build_units(["fig1a_cyclon_fanout"], "smoke", **TINY)
+        assert len(build_chunks(units, 1)) == 1  # all cells share one base
+
+
+class TestShardingDeterminism:
+    def test_parallel_equals_serial_for_grid_scenario(self, tmp_path):
+        serial = run_scenarios([GRID_ID], "smoke", workers=1, **TINY)
+        parallel = run_scenarios([GRID_ID], "smoke", workers=4, **TINY)
+        a = write_artifacts(serial, tmp_path / "serial")
+        b = write_artifacts(parallel, tmp_path / "parallel")
+        assert [p.read_bytes() for p in a] == [p.read_bytes() for p in b]
+
+    def test_cells_on_equals_cells_off(self):
+        split = run_scenarios([GRID_ID], "smoke", workers=2, cells=True, **TINY)
+        whole = run_scenarios([GRID_ID], "smoke", workers=2, cells=False, **TINY)
+        assert _artifact_bytes(split) == _artifact_bytes(whole)
+
+    def test_cached_equals_uncached(self):
+        cached = run_scenarios([GRID_ID], "smoke", workers=2, snapshot_cache=True, **TINY)
+        uncached = run_scenarios(
+            [GRID_ID], "smoke", workers=2, snapshot_cache=False, **TINY
+        )
+        assert _artifact_bytes(cached) == _artifact_bytes(uncached)
+
+    def test_all_modes_agree_for_fanout_and_healing(self):
+        """A second shape of grid (fanout cells, healing cells) across the
+        full mode matrix."""
+        ids = ["fig1a_cyclon_fanout", "fig4_healing"]
+        reference = run_scenarios(ids, "smoke", workers=1, cells=False,
+                                  snapshot_cache=False, **TINY)
+        for workers, cells, cache in [(1, True, True), (3, True, True), (2, True, False)]:
+            candidate = run_scenarios(ids, "smoke", workers=workers, cells=cells,
+                                      snapshot_cache=cache, **TINY)
+            assert _artifact_bytes(candidate) == _artifact_bytes(reference), (
+                workers, cells, cache,
+            )
+
+
+class TestTimings:
+    def test_timings_collected_but_artifacts_clean(self, tmp_path):
+        timings = SweepTimings()
+        runs = run_scenarios([GRID_ID], "smoke", workers=1, timings=timings, **TINY)
+        assert timings.scenario_units[GRID_ID] == 8  # 4 protocols x 2 fractions
+        assert timings.scenario_seconds[GRID_ID] > 0.0
+        assert timings.wall_seconds > 0.0
+        text = encode_artifact(runs[GRID_ID].artifact())
+        for forbidden in ("elapsed", "seconds", "duration", "wall"):
+            assert forbidden not in text.lower()
+
+
+class TestSnapshotCache:
+    def test_checkouts_are_private_copies(self):
+        params = ExperimentParams.scaled(24, seed=5, stabilization_cycles=3)
+        cache = SnapshotCache()
+        first = cache.checkout("hyparview", params)
+        second = cache.checkout("hyparview", params)
+        assert first is not second
+        first.fail_fraction(0.5)
+        # Mutating one checkout must not leak into the next.
+        third = cache.checkout("hyparview", params)
+        assert len(third.alive_ids()) == params.n
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 2
+
+    def test_distinct_params_are_distinct_entries(self):
+        cache = SnapshotCache()
+        a = ExperimentParams.scaled(24, seed=1, stabilization_cycles=3)
+        b = ExperimentParams.scaled(24, seed=2, stabilization_cycles=3)
+        cache.checkout("hyparview", a)
+        cache.checkout("hyparview", b)
+        assert cache.stats()["misses"] == 2
+
+    def test_lru_eviction(self):
+        cache = SnapshotCache(capacity=1)
+        a = ExperimentParams.scaled(24, seed=1, stabilization_cycles=3)
+        b = ExperimentParams.scaled(24, seed=2, stabilization_cycles=3)
+        cache.checkout("hyparview", a)
+        cache.checkout("hyparview", b)
+        cache.checkout("hyparview", a)  # evicted, rebuilt
+        stats = cache.stats()
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 2
+        assert len(cache) == 1
+
+    def test_hit_and_miss_hand_out_identical_state(self):
+        params = ExperimentParams.scaled(24, seed=9, stabilization_cycles=3)
+        cache = SnapshotCache()
+        miss = cache.checkout("cyclon", params)
+        hit = cache.checkout("cyclon", params)
+        assert _edges(miss) == _edges(hit)
+
+
+class TestFreezeThaw:
+    def test_clone_equals_thaw_of_freeze(self):
+        params = ExperimentParams.scaled(24, seed=3, stabilization_cycles=3)
+        base = stabilized_scenario("hyparview", params)
+        frozen = base.freeze()
+        a, b = Scenario.thaw(frozen), base.clone()
+        assert _edges(a) == _edges(b)
+        # Downstream randomness matches too: same victims, same traffic.
+        assert a.fail_fraction(0.5) == b.fail_fraction(0.5)
+        sa = [s.reliability for s in a.send_broadcasts(2)]
+        sb = [s.reliability for s in b.send_broadcasts(2)]
+        assert sa == sb
+
+    def test_freeze_with_live_pending_events_rejected(self):
+        params = ExperimentParams.scaled(16, seed=3, stabilization_cycles=2)
+        scenario = stabilized_scenario("hyparview", params)
+        scenario.engine.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError, match="pending"):
+            scenario.freeze()
+
+    def test_cancelled_timers_do_not_block_freeze(self):
+        """The live_pending fix: a heap of lazily-cancelled timers is not
+        pending work and must not block cloning (it used to)."""
+        params = ExperimentParams.scaled(16, seed=3, stabilization_cycles=2)
+        scenario = stabilized_scenario("hyparview", params)
+        handles = [scenario.engine.schedule(60.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert scenario.engine.pending > 0
+        clone = scenario.clone()  # would raise before the fix
+        assert clone.engine.live_pending == 0

@@ -128,10 +128,23 @@ class TestSeedDerivation:
         assert len(seeds) == 12
 
     def test_units_carry_per_replicate_seeds(self):
-        units = build_units(["churn"], "smoke", root_seed=7, replicates=3)
+        units = build_units(["churn"], "smoke", root_seed=7, replicates=3, cells=False)
         assert [unit.replicate for unit in units] == [0, 1, 2]
         resolved = [unit.resolve()[1] for unit in units]
         assert len({context.seed for context in resolved}) == 3
+
+    def test_cell_units_share_their_replicate_seed(self):
+        # churn decomposes into one cell per protocol; every cell of one
+        # replicate must observe the replicate's seed (the monolithic run
+        # and the sharded cells see identical randomness).
+        units = build_units(["churn"], "smoke", root_seed=7, replicates=2)
+        assert [unit.replicate for unit in units] == [0, 0, 1, 1]
+        assert all(unit.cell is not None for unit in units)
+        seeds = {}
+        for unit in units:
+            seeds.setdefault(unit.replicate, set()).add(unit.resolve()[1].seed)
+        assert all(len(per_replicate) == 1 for per_replicate in seeds.values())
+        assert seeds[0] != seeds[1]
 
 
 class TestParallelDeterminism:
@@ -251,6 +264,30 @@ class TestBenchCli:
             "BENCH_fig1_hyparview_reference.json",
             "BENCH_fig1c_failure50.json",
         ]
+
+    def test_cell_and_cache_flags(self, capsys, tmp_path):
+        """--cells off / --no-snapshot-cache run the same scenarios and
+        write byte-identical artifacts (the determinism contract)."""
+        base_args = [
+            "bench", "--scenario", "fig2_reliability",
+            "--n", "32", "--messages", "2",
+        ]
+        assert main(base_args + ["--out", str(tmp_path / "a")]) == 0
+        assert main(base_args + ["--cells", "off", "--out", str(tmp_path / "b")]) == 0
+        assert main(base_args + ["--no-snapshot-cache", "--out", str(tmp_path / "c")]) == 0
+        name = "BENCH_fig2_reliability.json"
+        reference = (tmp_path / "a" / name).read_bytes()
+        assert (tmp_path / "b" / name).read_bytes() == reference
+        assert (tmp_path / "c" / name).read_bytes() == reference
+
+    def test_profile_mode(self, capsys):
+        assert main(
+            ["bench", "--profile", "--scenario", "fig1_hyparview_reference",
+             "--n", "32", "--messages", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profiling fig1_hyparview_reference" in out
+        assert "cumulative" in out
 
     def test_no_artifacts_flag(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

@@ -193,3 +193,141 @@ class TestPeriodicTask:
         task.start()
         engine.run_until(1.5)
         assert ticks == [1]
+
+
+class TestPostFastPath:
+    def test_post_and_schedule_interleave_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(2.0, fired.append, "timer")
+        engine.post(1.0, fired.append, "msg-early")
+        engine.post(3.0, fired.append, "msg-late")
+        engine.run_until_idle()
+        assert fired == ["msg-early", "timer", "msg-late"]
+
+    def test_post_same_time_fifo_with_schedule(self):
+        engine = Engine()
+        fired = []
+        engine.post(1.0, fired.append, "a")
+        engine.schedule(1.0, fired.append, "b")
+        engine.post(1.0, fired.append, "c")
+        engine.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_post_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().post(-0.1, lambda: None)
+
+    def test_post_at_in_past_rejected(self):
+        engine = Engine()
+        engine.post(1.0, lambda: None)
+        engine.run_until_idle()
+        with pytest.raises(SimulationError):
+            engine.post_at(0.5, lambda: None)
+
+    def test_posted_events_respect_run_until_and_step(self):
+        engine = Engine()
+        fired = []
+        engine.post(1.0, fired.append, "a")
+        engine.post(2.0, fired.append, "b")
+        assert engine.step() is True
+        assert fired == ["a"]
+        engine.run_until(5.0)
+        assert fired == ["a", "b"]
+        assert engine.processed == 2
+
+
+class TestCancelledAccounting:
+    def test_live_pending_excludes_cancelled(self):
+        engine = Engine()
+        handles = [engine.schedule(1.0, lambda: None) for _ in range(10)]
+        engine.post(1.0, lambda: None)
+        assert engine.pending == 11
+        assert engine.live_pending == 11
+        for handle in handles[:4]:
+            handle.cancel()
+        assert engine.pending == 11
+        assert engine.live_pending == 7
+        assert engine.cancelled_pending == 4
+
+    def test_double_cancel_counted_once(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.cancelled_pending == 1
+        assert engine.live_pending == 0
+
+    def test_cancel_after_fire_not_counted(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run_until_idle()
+        handle.cancel()
+        assert engine.cancelled_pending == 0
+        assert engine.pending == 0
+
+    def test_popping_cancelled_events_decrements_counter(self):
+        engine = Engine()
+        keep = []
+        handle = engine.schedule(1.0, keep.append, "x")
+        handle.cancel()
+        engine.schedule(2.0, keep.append, "y")
+        engine.run_until_idle()
+        assert keep == ["y"]
+        assert engine.cancelled_pending == 0
+        assert engine.live_pending == 0
+
+
+class TestHeapCompaction:
+    def test_compact_reclaims_cancelled_events(self):
+        engine = Engine()
+        handles = [engine.schedule(1.0 + i, lambda: None) for i in range(100)]
+        for handle in handles:
+            handle.cancel()
+        # Auto-compaction fires once cancelled events exceed both the
+        # floor and half the queue: the heap must physically shrink, and
+        # the books must balance (pending = live + cancelled).
+        assert engine.pending < 100
+        assert engine.live_pending == 0
+        assert engine.pending == engine.cancelled_pending
+        engine.compact()
+        assert engine.pending == 0
+
+    def test_compaction_preserves_live_events_and_order(self):
+        engine = Engine()
+        fired = []
+        live = [engine.schedule(10.0 + i, fired.append, i) for i in range(5)]
+        doomed = [engine.schedule(1.0 + i, fired.append, 1000 + i) for i in range(200)]
+        for handle in doomed:
+            handle.cancel()
+        assert engine.pending < len(live) + len(doomed)  # auto-compacted
+        assert engine.live_pending == len(live)
+        engine.run_until_idle()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_small_queues_not_compacted(self):
+        engine = Engine()
+        handles = [engine.schedule(1.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Below the floor the cancelled events stay parked (lazy removal).
+        assert engine.pending == 10
+        assert engine.live_pending == 0
+        assert engine.compact() == 10
+        assert engine.pending == 0
+
+    def test_explicit_compact_mid_run(self):
+        engine = Engine()
+        fired = []
+
+        def cancel_and_compact():
+            for handle in doomed:
+                handle.cancel()
+            engine.compact()
+            fired.append("compacted")
+
+        engine.schedule(1.0, cancel_and_compact)
+        doomed = [engine.schedule(5.0, fired.append, "doomed") for _ in range(50)]
+        engine.schedule(9.0, fired.append, "tail")
+        engine.run_until_idle()
+        assert fired == ["compacted", "tail"]
