@@ -1,44 +1,110 @@
 """Microbenchmark of the simulation kernel's hot loop.
 
-Tracks events/second through :meth:`Engine.run_until_idle` for the two
-traffic classes the experiments generate:
+Tracks events/second through :meth:`Engine.run_until_idle` for the
+traffic classes the experiments generate, and compares the bucket-queue
+engine against an in-bench reimplementation of the previous heapq kernel
+(the PR-2 baseline) on the workload the queue redesign targets:
 
-* **posted events** — handle-free message deliveries (the fast path that
-  carries millions of gossip messages per figure);
+* **burst cascades** — ``WIDTH`` concurrent delivery chains sharing
+  constant-latency timestamps, the shape of every gossip hop (one
+  broadcast hop delivers to many nodes at the same instant).  This is
+  where the bucket queue's O(1) append/pop pays: the acceptance target is
+  >= 2x posted events/s over the heapq baseline;
+* **serial chains** — a single chain of distinct timestamps, the bucket
+  queue's worst case (every event opens a fresh bucket); reported so a
+  regression in the degenerate shape is visible too;
 * **timer events** — cancellable handles, most of which are cancelled
-  before firing (ack/retransmit timers), exercising lazy removal and heap
-  compaction.
+  before firing (ack/retransmit timers), exercising lazy removal and
+  bucket compaction.
 
-Numbers go to stdout (CI job logs) only; the assertion floor is set far
-below any real machine's throughput so the bench only trips on a
-catastrophic kernel regression, never on a noisy runner.
+Numbers go to stdout (CI job logs) and — with ``--json PATH`` — into a
+``TIMINGS_kernel_microbench.json`` record that CI folds into the timings
+artifact for commit-over-commit trending.  The assertion floors are set
+far below any real machine's throughput so the bench only trips on a
+catastrophic kernel regression, never on a noisy runner; the 2x
+burst-speedup assertion takes the best of several repeats for the same
+reason.
 
-Run directly (``python benchmarks/bench_kernel.py``) or via pytest
-(``pytest benchmarks/bench_kernel.py -s``; slow-marked).
+Run directly (``python benchmarks/bench_kernel.py [--json PATH]``) or via
+pytest (``pytest benchmarks/bench_kernel.py -s``; slow-marked).
 """
 
 from __future__ import annotations
 
+import argparse
+import heapq
+import json
+import pathlib
 import time
+from itertools import count
 
 import pytest
 
+from repro.experiments.reporting import TIMINGS_SCHEMA
 from repro.sim.engine import Engine
 
 #: Events per measured batch — large enough to amortise timer noise.
 BATCH = 200_000
 
+#: Concurrent chains in the burst workload (events sharing a timestamp
+#: per instant) — the magnitude of one gossip hop at bench scale.
+WIDTH = 256
+
+#: Measurement repeats; the best run is kept (noise floor, not variance).
+REPEATS = 3
+
 #: Catastrophic-regression floor (events/second).  Real hardware does
 #: millions; tripping this means the hot loop gained per-event overhead.
 FLOOR = 50_000
+
+#: Required advantage of the bucket queue over the heapq baseline on the
+#: burst workload (the tentpole acceptance criterion).
+BURST_SPEEDUP = 2.0
+
+
+class HeapqBaseline:
+    """The PR-2 kernel's hot path, reimplemented for comparison.
+
+    A heap of ``(time, seq, callback, args)`` tuples with the same
+    inlined drain loop the previous ``Engine.run_until_idle`` used.  Kept
+    here (not in the library) so the baseline stays frozen while the real
+    engine evolves.
+    """
+
+    __slots__ = ("_now", "_queue", "_sequence")
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple] = []
+        self._sequence = count()
+
+    def post(self, delay: float, callback, *args) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._sequence), callback, args)
+        )
+
+    def run_until_idle(self) -> int:
+        queue = self._queue
+        pop = heapq.heappop
+        fired = 0
+        while queue:
+            entry = pop(queue)
+            self._now = entry[0]
+            fired += 1
+            entry[2](*entry[3])
+        return fired
 
 
 def _events_per_second(total_events: int, elapsed: float) -> float:
     return total_events / elapsed if elapsed > 0 else float("inf")
 
 
-def _drive_posted(engine: Engine, total: int) -> None:
-    """A self-sustaining cascade: each posted event posts the next."""
+def _drive_posted(engine, total: int, width: int) -> None:
+    """``width`` self-sustaining delivery chains at one constant latency.
+
+    All chains share timestamps (they advance in lock step), so each
+    instant carries a bucket of ``width`` events — the gossip-hop shape.
+    """
     remaining = [total]
 
     def fire() -> None:
@@ -46,7 +112,8 @@ def _drive_posted(engine: Engine, total: int) -> None:
         if remaining[0] > 0:
             engine.post(0.001, fire)
 
-    engine.post(0.001, fire)
+    for _ in range(min(width, total)):
+        engine.post(0.001, fire)
     engine.run_until_idle()
 
 
@@ -66,12 +133,22 @@ def _drive_timers(engine: Engine, total: int) -> None:
     engine.run_until_idle()
 
 
-@pytest.mark.slow
-def bench_kernel_hot_loop() -> None:
-    engine = Engine()
-    started = time.perf_counter()
-    _drive_posted(engine, BATCH)
-    posted_eps = _events_per_second(BATCH, time.perf_counter() - started)
+def _best_posted_eps(engine_factory, total: int, width: int) -> float:
+    best = 0.0
+    for _ in range(REPEATS):
+        engine = engine_factory()
+        started = time.perf_counter()
+        _drive_posted(engine, total, width)
+        best = max(best, _events_per_second(total, time.perf_counter() - started))
+    return best
+
+
+def run_kernel_bench() -> dict:
+    """Measure every workload; returns the machine-readable record."""
+    burst_eps = _best_posted_eps(Engine, BATCH, WIDTH)
+    burst_heapq_eps = _best_posted_eps(HeapqBaseline, BATCH, WIDTH)
+    serial_eps = _best_posted_eps(Engine, BATCH, 1)
+    serial_heapq_eps = _best_posted_eps(HeapqBaseline, BATCH, 1)
 
     engine = Engine()
     started = time.perf_counter()
@@ -81,13 +158,102 @@ def bench_kernel_hot_loop() -> None:
     assert engine.pending <= 1
     assert engine.live_pending == engine.pending
 
+    return {
+        "schema": TIMINGS_SCHEMA,
+        "scenario": "kernel_microbench",
+        "tier": "kernel",
+        "workers": 1,
+        "units": [
+            {
+                "cell": f"posted-burst-{WIDTH}",
+                "events": BATCH,
+                "events_per_second": burst_eps,
+                "heapq_baseline_events_per_second": burst_heapq_eps,
+                "speedup_vs_heapq": burst_eps / burst_heapq_eps,
+            },
+            {
+                "cell": "posted-serial",
+                "events": BATCH,
+                "events_per_second": serial_eps,
+                "heapq_baseline_events_per_second": serial_heapq_eps,
+                "speedup_vs_heapq": serial_eps / serial_heapq_eps,
+            },
+            {
+                "cell": "timers-all-cancel",
+                "events": BATCH // 2,
+                "events_per_second": timer_eps,
+            },
+        ],
+        "totals": {
+            "units": 3,
+            "events": 2 * BATCH + BATCH // 2,
+            # The headline figure the perf-trend job follows.
+            "events_per_second": burst_eps,
+            "worker_seconds": None,
+        },
+    }
+
+
+def report(record: dict) -> None:
+    burst, serial, timers = record["units"]
     print(
-        f"\nkernel hot loop: posted {posted_eps:,.0f} events/s, "
-        f"timers (all-cancel decoys) {timer_eps:,.0f} events/s"
+        f"\nkernel hot loop (bucket queue vs heapq baseline):\n"
+        f"  posted burst x{WIDTH}: {burst['events_per_second']:,.0f} ev/s "
+        f"(heapq {burst['heapq_baseline_events_per_second']:,.0f}, "
+        f"speedup {burst['speedup_vs_heapq']:.2f}x)\n"
+        f"  posted serial:      {serial['events_per_second']:,.0f} ev/s "
+        f"(heapq {serial['heapq_baseline_events_per_second']:,.0f}, "
+        f"speedup {serial['speedup_vs_heapq']:.2f}x)\n"
+        f"  timers (all-cancel decoys): {timers['events_per_second']:,.0f} ev/s"
     )
-    assert posted_eps > FLOOR
-    assert timer_eps > FLOOR
+
+
+@pytest.mark.slow
+def bench_kernel_hot_loop() -> None:
+    record = run_kernel_bench()
+    report(record)
+    burst, serial, timers = record["units"]
+    assert burst["events_per_second"] > FLOOR
+    assert serial["events_per_second"] > FLOOR
+    assert timers["events_per_second"] > FLOOR
+    # The tentpole claim: on gossip-burst traffic the bucket queue must
+    # comfortably outrun the old mixed-tuple heap.
+    assert burst["speedup_vs_heapq"] >= BURST_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", type=pathlib.Path, default=None, metavar="PATH",
+        help="also write the machine-readable record (repro-timings/1 "
+        "schema) to PATH for the CI timings artifact",
+    )
+    args = parser.parse_args(argv)
+    record = run_kernel_bench()
+    report(record)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    burst, serial, timers = record["units"]
+    # Hard gate: the catastrophic-regression floors, on every workload —
+    # these are orders of magnitude below real throughput, so tripping one
+    # means the kernel broke, not that the runner was busy.
+    ok = all(
+        unit["events_per_second"] > FLOOR for unit in (burst, serial, timers)
+    )
+    # Soft gate: the 2x burst-speedup ratio is wall-clock-relative and may
+    # be squeezed on a contended hosted runner; warn (GitHub annotation),
+    # never fail — matching the perf-trend job's noise policy.  The
+    # slow-marked pytest path still asserts it where the pin matters.
+    if burst["speedup_vs_heapq"] < BURST_SPEEDUP:
+        print(
+            f"::warning title=kernel bench::burst speedup "
+            f"{burst['speedup_vs_heapq']:.2f}x below the {BURST_SPEEDUP:.1f}x "
+            f"target (noisy runner?)"
+        )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
-    bench_kernel_hot_loop()
+    raise SystemExit(main())

@@ -1,0 +1,194 @@
+"""Commit-over-commit perf trending from ``TIMINGS_*.json`` artifacts.
+
+The CI ``perf-trend`` job downloads the current run's timings artifact and
+the previous successful run's (via ``gh api``), then calls this script to
+render a markdown delta table into the GitHub job summary and emit
+``::warning::`` annotations for per-scenario regressions beyond the
+threshold.
+
+Soft-fail by design: wall-clock on shared hosted runners is noisy, so a
+regression warns (and is visible in the summary trend) but never turns
+the build red.  The exit code is always 0 unless the inputs are unusable.
+
+Usage::
+
+    python benchmarks/perf_trend.py --current DIR [--previous DIR]
+        [--summary FILE] [--threshold 0.30]
+
+Both directories hold ``TIMINGS_<scenario>.json`` files in the
+``repro-timings/1`` schema (written by ``repro bench`` and
+``bench_kernel.py --json``).  Scenarios present on only one side are
+listed as new/retired rather than compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Iterable, Optional
+
+#: A regression is flagged when the metric worsens by more than this
+#: fraction (seconds grow, or kernel events/s shrink).
+DEFAULT_THRESHOLD = 0.30
+
+
+def load_timings_dir(directory: pathlib.Path) -> dict[str, dict]:
+    """All ``TIMINGS_*.json`` records under ``directory``, by scenario id.
+
+    Unreadable or schema-less files are skipped with a note on stderr —
+    a truncated artifact from a cancelled run must not kill trending.
+    """
+    records: dict[str, dict] = {}
+    for path in sorted(directory.glob("TIMINGS_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"perf-trend: skipping unreadable {path}: {error}", file=sys.stderr)
+            continue
+        scenario = data.get("scenario")
+        if not scenario or not str(data.get("schema", "")).startswith("repro-timings/"):
+            print(f"perf-trend: skipping non-timings file {path}", file=sys.stderr)
+            continue
+        records[str(scenario)] = data
+    return records
+
+
+def _metric(record: dict) -> tuple[Optional[float], str]:
+    """The trended metric of one record: ``(value, kind)``.
+
+    Scenario sweeps trend summed worker-seconds (lower is better); kernel
+    microbenchmarks carry no wall total and trend events/s (higher is
+    better).
+    """
+    totals = record.get("totals", {})
+    seconds = totals.get("worker_seconds")
+    if isinstance(seconds, (int, float)) and seconds > 0:
+        return float(seconds), "seconds"
+    events_per_second = totals.get("events_per_second")
+    if isinstance(events_per_second, (int, float)) and events_per_second > 0:
+        return float(events_per_second), "events/s"
+    return None, "none"
+
+
+def _format_value(value: Optional[float], kind: str) -> str:
+    if value is None:
+        return "-"
+    if kind == "seconds":
+        return f"{value:.2f}s"
+    return f"{value:,.0f} ev/s"
+
+
+def compare(
+    current: dict[str, dict],
+    previous: dict[str, dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Build the summary lines and the regression warnings.
+
+    Returns ``(markdown_lines, warning_messages)``.  The markdown renders
+    a per-scenario delta table; a warning fires when a scenario got more
+    than ``threshold`` slower (or, for events/s metrics, slower-throughput)
+    than the previous run.
+    """
+    lines = [
+        "## Perf trend (TIMINGS artifacts, commit-over-commit)",
+        "",
+        "| scenario | previous | current | delta | status |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    warnings: list[str] = []
+    for scenario in sorted(set(current) | set(previous)):
+        cur_value, cur_kind = _metric(current[scenario]) if scenario in current else (None, "none")
+        prev_value, prev_kind = (
+            _metric(previous[scenario]) if scenario in previous else (None, "none")
+        )
+        if cur_value is None and prev_value is None:
+            continue
+        if prev_value is None:
+            lines.append(
+                f"| {scenario} | - | {_format_value(cur_value, cur_kind)} | - | new |"
+            )
+            continue
+        if cur_value is None:
+            lines.append(
+                f"| {scenario} | {_format_value(prev_value, prev_kind)} | - | - | retired |"
+            )
+            continue
+        if cur_kind != prev_kind:
+            lines.append(
+                f"| {scenario} | {_format_value(prev_value, prev_kind)} "
+                f"| {_format_value(cur_value, cur_kind)} | - | metric changed |"
+            )
+            continue
+        # "Worse" means slower: more seconds, or fewer events per second.
+        if cur_kind == "seconds":
+            change = (cur_value - prev_value) / prev_value
+        else:
+            change = (prev_value - cur_value) / prev_value
+        delta = f"{change:+.1%}" if cur_kind == "seconds" else f"{-change:+.1%}"
+        if change > threshold:
+            status = f"⚠️ regression (> {threshold:.0%})"
+            warnings.append(
+                f"{scenario}: {_format_value(prev_value, prev_kind)} -> "
+                f"{_format_value(cur_value, cur_kind)} "
+                f"({delta}, threshold {threshold:.0%})"
+            )
+        elif change < -threshold:
+            status = "🎉 improvement"
+        else:
+            status = "ok"
+        lines.append(
+            f"| {scenario} | {_format_value(prev_value, prev_kind)} "
+            f"| {_format_value(cur_value, cur_kind)} | {delta} | {status} |"
+        )
+    lines.append("")
+    lines.append(
+        f"_Soft gate: deltas beyond ±{threshold:.0%} annotate a warning but "
+        f"never fail the build (hosted-runner wall-clock is noisy)._"
+    )
+    return lines, warnings
+
+
+def emit(lines: Iterable[str], summary_path: Optional[pathlib.Path]) -> None:
+    text = "\n".join(lines) + "\n"
+    print(text)
+    if summary_path is not None:
+        with summary_path.open("a") as handle:
+            handle.write(text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="directory with this run's TIMINGS_*.json")
+    parser.add_argument("--previous", type=pathlib.Path, default=None,
+                        help="directory with the previous run's TIMINGS_*.json "
+                        "(omit on the first run: the table lists current only)")
+    parser.add_argument("--summary", type=pathlib.Path, default=None,
+                        help="file to append the markdown table to "
+                        "(pass \"$GITHUB_STEP_SUMMARY\" in CI)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="warn when a scenario is this fraction slower "
+                        "than the previous run (default 0.30)")
+    args = parser.parse_args(argv)
+
+    current = load_timings_dir(args.current)
+    if not current:
+        print(f"perf-trend: no TIMINGS_*.json under {args.current}", file=sys.stderr)
+        return 1
+    previous = load_timings_dir(args.previous) if args.previous else {}
+
+    lines, warnings = compare(current, previous, threshold=args.threshold)
+    emit(lines, args.summary)
+    for warning in warnings:
+        # GitHub annotation syntax; visible on the run page and the PR.
+        print(f"::warning title=perf regression::{warning}")
+    if not previous:
+        print("perf-trend: no previous timings; baseline recorded.", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -343,6 +343,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         cells=args.cells != "off",
         snapshot_cache=not args.no_snapshot_cache,
         out_dir=None if args.no_artifacts else args.out,
+        timings_dir=args.timings_out,
         check=args.check,
     )
     for run in runs.values():
@@ -448,7 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--no-artifacts", action="store_true",
-        help="print reports without writing JSON artifacts",
+        help="print reports without writing JSON artifacts (suppresses "
+        "TIMINGS files too unless --timings-out is given)",
+    )
+    p.add_argument(
+        "--timings-out", type=pathlib.Path, default=None, metavar="DIR",
+        help="directory for TIMINGS_<scenario>.json wall-clock records "
+        "(default: the --out directory; these are intentionally "
+        "non-deterministic and uploaded separately by CI)",
     )
     p.add_argument(
         "--check", action="store_true",

@@ -45,12 +45,15 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Optional
 
 from ..common.errors import ConfigurationError
-from ..metrics.reliability import average_reliability
 from .ablations import (
+    RESEND_VARIANTS,
     default_passive_sizes,
-    run_passive_size_ablation,
-    run_resend_ablation,
-    run_shuffle_ttl_ablation,
+    measure_passive_size_point,
+    measure_plumtree_point,
+    measure_resend_point,
+    measure_shuffle_ttl_point,
+    passive_size_params,
+    shuffle_ttl_params,
 )
 from .churn import run_churn_experiment
 from .failures import (
@@ -155,25 +158,33 @@ class RunContext:
             return self
         return replace(self, snapshots=SnapshotCache())
 
-    def frozen_base(self, protocol: str) -> bytes:
+    def frozen_base(
+        self, protocol: str, params: Optional[ExperimentParams] = None
+    ) -> bytes:
         """The frozen stabilised base overlay for ``protocol``.
 
         Served from the snapshot cache when one is attached; always the
-        same bytes for the same ``(protocol, params)``.
+        same bytes for the same ``(protocol, params)``.  ``params``
+        overrides the tier-derived defaults — ablation cells use this to
+        stabilise per-point configurations (e.g. a swept passive-view
+        capacity) through the same cache.
         """
-        params = self.params()
+        if params is None:
+            params = self.params()
         if self.snapshots is None:
             return stabilized_scenario(protocol, params).freeze()
         return self.snapshots.frozen(protocol, params)
 
-    def stabilized(self, protocol: str) -> Scenario:
+    def stabilized(
+        self, protocol: str, params: Optional[ExperimentParams] = None
+    ) -> Scenario:
         """A private, ready-to-mutate stabilised scenario for ``protocol``.
 
         Every checkout — cached or not — passes through exactly one
         freeze/thaw round trip since stabilisation, so measured results
         never depend on where the base came from.
         """
-        return Scenario.thaw(self.frozen_base(protocol))
+        return Scenario.thaw(self.frozen_base(protocol, params))
 
 
 @dataclass(frozen=True, slots=True)
@@ -1026,21 +1037,32 @@ register(
 
 
 # ----------------------------------------------------------------------
-# Ablations
+# Ablations — every sweep point is one cell
 # ----------------------------------------------------------------------
-def _run_ablation_passive(ctx: RunContext) -> dict:
-    params = ctx.params()
+def _passive_sizes(ctx: RunContext) -> tuple[int, ...]:
     sizes = ctx.option("passive_sizes", None)
-    sizes = (
-        tuple(int(v) for v in sizes)  # type: ignore[union-attr]
-        if sizes is not None
-        else default_passive_sizes(params.hyparview)
-    )
+    if sizes is not None:
+        return tuple(int(v) for v in sizes)  # type: ignore[union-attr]
+    return default_passive_sizes(ctx.params().hyparview)
+
+
+def _passive_cells(ctx: RunContext) -> tuple[CellKey, ...]:
+    return tuple((size,) for size in _passive_sizes(ctx))
+
+
+def _run_passive_cell(ctx: RunContext, key: CellKey) -> dict:
+    capacity = int(key[0])
     failure = float(ctx.option("failure", 0.8))  # type: ignore[arg-type]
-    points = run_passive_size_ablation(
-        params, sizes, failure_fraction=failure, messages=ctx.config.messages
+    scenario = ctx.stabilized("hyparview", passive_size_params(ctx.params(), capacity))
+    point = measure_passive_size_point(
+        scenario, failure_fraction=failure, messages=ctx.config.messages
     )
-    return {"failure": failure, "points": [json_safe(p) for p in points]}
+    return json_safe(point)  # type: ignore[return-value]
+
+
+def _merge_passive(ctx: RunContext, cells: Mapping[CellKey, dict]) -> dict:
+    failure = float(ctx.option("failure", 0.8))  # type: ignore[arg-type]
+    return {"failure": failure, "points": [cells[(size,)] for size in _passive_sizes(ctx)]}
 
 
 def _render_ablation_passive(result: dict, n: int) -> str:
@@ -1080,21 +1102,34 @@ register(
                              extra={"passive_sizes": (3, 8), "failure": 0.6}),
             paper=TierConfig(n=10_000, messages=50, paper_params=True),
         ),
-        run=_run_ablation_passive,
         render=_render_ablation_passive,
         check=_check_ablation_passive,
+        **_cell_hooks(_passive_cells, _run_passive_cell, _merge_passive),
     )
 )
 
 
-def _run_ablation_shuffle_ttl(ctx: RunContext) -> dict:
-    params = ctx.params()
-    ttls = tuple(int(v) for v in ctx.option("ttls", (1, 3, 6, 9)))  # type: ignore[union-attr]
+def _shuffle_ttls(ctx: RunContext) -> tuple[int, ...]:
+    return tuple(int(v) for v in ctx.option("ttls", (1, 3, 6, 9)))  # type: ignore[union-attr]
+
+
+def _shuffle_ttl_cells(ctx: RunContext) -> tuple[CellKey, ...]:
+    return tuple((ttl,) for ttl in _shuffle_ttls(ctx))
+
+
+def _run_shuffle_ttl_cell(ctx: RunContext, key: CellKey) -> dict:
+    ttl = int(key[0])
     failure = float(ctx.option("failure", 0.6))  # type: ignore[arg-type]
-    points = run_shuffle_ttl_ablation(
-        params, ttls, failure_fraction=failure, messages=ctx.config.messages
+    scenario = ctx.stabilized("hyparview", shuffle_ttl_params(ctx.params(), ttl))
+    point = measure_shuffle_ttl_point(
+        scenario, failure_fraction=failure, messages=ctx.config.messages
     )
-    return {"failure": failure, "points": [json_safe(p) for p in points]}
+    return json_safe(point)  # type: ignore[return-value]
+
+
+def _merge_shuffle_ttl(ctx: RunContext, cells: Mapping[CellKey, dict]) -> dict:
+    failure = float(ctx.option("failure", 0.6))  # type: ignore[arg-type]
+    return {"failure": failure, "points": [cells[(ttl,)] for ttl in _shuffle_ttls(ctx)]}
 
 
 def _render_ablation_shuffle_ttl(result: dict, n: int) -> str:
@@ -1131,20 +1166,33 @@ register(
                              extra={"ttls": (1, 6)}),
             paper=TierConfig(n=10_000, messages=30, paper_params=True),
         ),
-        run=_run_ablation_shuffle_ttl,
         render=_render_ablation_shuffle_ttl,
         check=_check_ablation_shuffle_ttl,
+        **_cell_hooks(_shuffle_ttl_cells, _run_shuffle_ttl_cell, _merge_shuffle_ttl),
     )
 )
 
 
-def _run_ablation_resend(ctx: RunContext) -> dict:
-    params = ctx.params()
+def _resend_cells(ctx: RunContext) -> tuple[CellKey, ...]:
+    return tuple((resend,) for resend in RESEND_VARIANTS)
+
+
+def _run_resend_cell(ctx: RunContext, key: CellKey) -> dict:
+    resend = bool(key[0])
     failure = float(ctx.option("failure", 0.8))  # type: ignore[arg-type]
-    points = run_resend_ablation(
-        params, failure_fraction=failure, messages=ctx.config.messages
+    point = measure_resend_point(
+        ctx.stabilized("hyparview"), resend,
+        failure_fraction=failure, messages=ctx.config.messages,
     )
-    return {"failure": failure, "points": [json_safe(p) for p in points]}
+    return json_safe(point)  # type: ignore[return-value]
+
+
+def _merge_resend(ctx: RunContext, cells: Mapping[CellKey, dict]) -> dict:
+    failure = float(ctx.option("failure", 0.8))  # type: ignore[arg-type]
+    return {
+        "failure": failure,
+        "points": [cells[(resend,)] for resend in RESEND_VARIANTS],
+    }
 
 
 def _render_ablation_resend(result: dict, n: int) -> str:
@@ -1185,34 +1233,32 @@ register(
                              extra={"failure": 0.6}),
             paper=TierConfig(n=10_000, messages=50, paper_params=True),
         ),
-        run=_run_ablation_resend,
         render=_render_ablation_resend,
         check=_check_ablation_resend,
+        # Both arms fork one stabilised HyParView base.
+        cell_affinity=lambda key: "base",
+        **_cell_hooks(_resend_cells, _run_resend_cell, _merge_resend),
     )
 )
 
 
-def _run_ablation_plumtree(ctx: RunContext) -> dict:
-    params = ctx.params()
+_PLUMTREE_LAYERS = ("hyparview", "plumtree")
+
+
+def _plumtree_cells(ctx: RunContext) -> tuple[CellKey, ...]:
+    return tuple((protocol,) for protocol in _PLUMTREE_LAYERS)
+
+
+def _run_plumtree_cell(ctx: RunContext, key: CellKey) -> dict:
+    protocol = str(key[0])
     warmup = int(ctx.option("warmup", 5))  # type: ignore[arg-type]
-    measured = ctx.config.messages
-    rows: dict[str, dict[str, object]] = {}
-    for protocol, payload_type in (
-        ("hyparview", "GossipData"),
-        ("plumtree", "PlumtreeGossip"),
-    ):
-        scenario = Scenario(protocol, params)
-        scenario.build_overlay()
-        scenario.stabilize()
-        scenario.send_broadcasts(warmup)  # converge the tree / no-op for flood
-        before = scenario.network.stats.messages_by_type.get(payload_type, 0)
-        summaries = scenario.send_broadcasts(measured)
-        after = scenario.network.stats.messages_by_type.get(payload_type, 0)
-        rows[protocol] = {
-            "reliability": average_reliability(summaries),
-            "payloads_per_broadcast": (after - before) / measured,
-        }
-    return rows
+    return measure_plumtree_point(
+        ctx.stabilized(protocol), warmup=warmup, messages=ctx.config.messages
+    )
+
+
+def _merge_plumtree(ctx: RunContext, cells: Mapping[CellKey, dict]) -> dict:
+    return {protocol: cells[(protocol,)] for protocol in _PLUMTREE_LAYERS}
 
 
 def _render_ablation_plumtree(result: dict, n: int) -> str:
@@ -1259,8 +1305,8 @@ register(
                              extra={"warmup": 3}),
             paper=TierConfig(n=10_000, messages=20, paper_params=True),
         ),
-        run=_run_ablation_plumtree,
         render=_render_ablation_plumtree,
         check=_check_ablation_plumtree,
+        **_cell_hooks(_plumtree_cells, _run_plumtree_cell, _merge_plumtree),
     )
 )

@@ -10,6 +10,12 @@ Two halves:
   canonically encoded (sorted keys, fixed indentation, no timestamps or
   host identity), so a parallel run is byte-identical to a serial run of
   the same seed and CI can diff benchmark trajectories across commits.
+
+A third, deliberately *non*-deterministic artifact family rides alongside:
+``TIMINGS_<scenario>.json`` records per-unit wall-clock and kernel
+events/s so CI can trend performance across commits (the ``perf-trend``
+job).  Timings never share a file with results — ``BENCH_*`` stays a pure
+function of the seed, ``TIMINGS_*`` is openly host- and load-dependent.
 """
 
 from __future__ import annotations
@@ -22,6 +28,9 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 #: Version tag embedded in every artifact; bump on breaking layout changes.
 ARTIFACT_SCHEMA = "repro-bench/1"
+
+#: Version tag of the wall-clock trending artifacts (``TIMINGS_*.json``).
+TIMINGS_SCHEMA = "repro-timings/1"
 
 
 # ----------------------------------------------------------------------
@@ -77,6 +86,39 @@ def write_artifact(
     return path
 
 
+def timings_filename(scenario_id: str) -> str:
+    """The on-disk name for one scenario's wall-clock record."""
+    return f"TIMINGS_{scenario_id}.json"
+
+
+def write_timings_file(
+    directory: pathlib.Path | str, timings: Mapping[str, object]
+) -> pathlib.Path:
+    """Persist one scenario's ``TIMINGS_*.json`` record; returns the path.
+
+    Same canonical encoding as :func:`write_artifact` for diffability —
+    but the *content* is wall-clock, so these files are expected to change
+    on every run and must never be byte-compared like ``BENCH_*`` files.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / timings_filename(str(timings["scenario"]))
+    path.write_text(encode_artifact(timings))
+    return path
+
+
+def load_timings(path: pathlib.Path | str) -> dict:
+    """Read a timings record back; raises ``ValueError`` on schema mismatch."""
+    data = json.loads(pathlib.Path(path).read_text())
+    schema = data.get("schema")
+    if schema != TIMINGS_SCHEMA:
+        raise ValueError(
+            f"unsupported timings schema {schema!r} in {path} "
+            f"(expected {TIMINGS_SCHEMA!r})"
+        )
+    return data
+
+
 def load_artifact(path: pathlib.Path | str) -> dict:
     """Read an artifact back; raises ``ValueError`` on schema mismatch."""
     data = json.loads(pathlib.Path(path).read_text())
@@ -118,24 +160,35 @@ def _cell(value: object) -> str:
 
 
 def format_timings(
-    scenario_seconds: Mapping[str, float], scenario_units: Mapping[str, int]
+    scenario_seconds: Mapping[str, float],
+    scenario_units: Mapping[str, int],
+    scenario_events: Optional[Mapping[str, int]] = None,
 ) -> str:
     """Render per-scenario wall-clock totals for job logs.
 
-    Strictly observability: this output goes to stderr/CI logs and must
-    never be embedded in ``BENCH_*.json`` artifacts, which are required to
-    be deterministic.
+    Strictly observability: this output goes to stderr/CI logs (and, in
+    machine-readable form, to ``TIMINGS_*.json``) and must never be
+    embedded in ``BENCH_*.json`` artifacts, which are required to be
+    deterministic.
     """
     if not scenario_seconds:
         return "per-scenario timings: (none)"
-    rows = [
-        [scenario_id, scenario_units.get(scenario_id, 0), f"{seconds:.2f}s"]
-        for scenario_id, seconds in sorted(scenario_seconds.items())
-    ]
+    events = scenario_events or {}
+    rows = []
+    for scenario_id, seconds in sorted(scenario_seconds.items()):
+        fired = events.get(scenario_id, 0)
+        rows.append(
+            [
+                scenario_id,
+                scenario_units.get(scenario_id, 0),
+                f"{seconds:.2f}s",
+                f"{fired / seconds:,.0f}" if fired and seconds > 0 else "-",
+            ]
+        )
     return format_table(
-        ["scenario", "units", "worker seconds"],
+        ["scenario", "units", "worker seconds", "kernel events/s"],
         rows,
-        title="per-scenario timings (logs only, never in artifacts)",
+        title="per-scenario timings (TIMINGS_*.json / logs, never in BENCH artifacts)",
     )
 
 

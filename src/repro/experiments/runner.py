@@ -30,9 +30,12 @@ worker idles.  Each base is then stabilised once per worker that touches
 it — usually once per sweep — restoring the session-wide sharing the old
 ScenarioCache provided, but across process boundaries.
 
-Per-unit and per-scenario wall-clock is reported to the progress stream
-(CI job logs) **only** — timings never enter the artifacts, which must
-stay deterministic.
+Per-unit and per-scenario wall-clock (plus kernel events/s, sampled from
+the engine's process-wide fired-event counter) is reported to the progress
+stream and persisted as ``TIMINGS_<scenario>.json`` — a separate,
+openly non-deterministic artifact family that CI uploads and trends
+across commits.  Timings never enter the ``BENCH_*`` artifacts, which
+must stay deterministic.
 
 The multiprocessing entry point (:func:`_execute_unit`) is a module-level
 function resolving scenarios by id from the registry, so it works under
@@ -50,6 +53,7 @@ from typing import Callable, Optional, Sequence
 
 from ..common.errors import ConfigurationError
 from ..common.rng import SeedSequence
+from ..sim.engine import events_fired_total
 from .registry import (
     CellKey,
     RunContext,
@@ -57,7 +61,13 @@ from .registry import (
     TierConfig,
     get_scenario,
 )
-from .reporting import ARTIFACT_SCHEMA, format_timings, write_artifact
+from .reporting import (
+    ARTIFACT_SCHEMA,
+    TIMINGS_SCHEMA,
+    format_timings,
+    write_artifact,
+    write_timings_file,
+)
 from .snapshots import SnapshotCache
 
 #: Default root seed of a sweep (matches the experiment default).
@@ -149,8 +159,12 @@ def _apply_overrides(
 class UnitOutcome:
     """What a worker sends back for one unit.
 
-    ``elapsed`` is observability only (logged, never persisted): artifacts
-    are assembled exclusively from ``result`` and the deterministic keys.
+    ``elapsed`` and ``events`` are observability only (logged and written
+    to ``TIMINGS_*.json``, never into ``BENCH_*``): artifacts are
+    assembled exclusively from ``result`` and the deterministic keys.
+    ``events`` counts simulation-kernel events fired while the unit ran
+    in its worker — elapsed and events together give per-unit kernel
+    throughput.
     """
 
     scenario_id: str
@@ -159,6 +173,7 @@ class UnitOutcome:
     seed: int
     result: dict
     elapsed: float
+    events: int = 0
 
 
 def _affinity_key(unit: WorkUnit) -> tuple:
@@ -212,6 +227,7 @@ def _execute_chunk(chunk: list[WorkUnit]) -> list[UnitOutcome]:
 def _execute_unit(unit: WorkUnit) -> UnitOutcome:
     """Worker entry point: run one unit, return its keyed result."""
     started = time.perf_counter()
+    events_before = events_fired_total()
     snapshots = _worker_snapshots() if unit.snapshot_cache else None
     spec, context = unit.resolve(snapshots)
     if unit.cell is None:
@@ -226,6 +242,7 @@ def _execute_unit(unit: WorkUnit) -> UnitOutcome:
         seed=context.seed,
         result=result,
         elapsed=time.perf_counter() - started,
+        events=events_fired_total() - events_before,
     )
 
 
@@ -281,25 +298,72 @@ class ScenarioRun:
 
 @dataclass
 class SweepTimings:
-    """Wall-clock accounting for one orchestrator sweep (logs only).
+    """Wall-clock accounting for one orchestrator sweep.
 
-    Collected from :class:`UnitOutcome.elapsed`; deliberately kept outside
-    :class:`ScenarioRun` so nothing timing-shaped can leak into artifacts.
+    Collected from :class:`UnitOutcome`; deliberately kept outside
+    :class:`ScenarioRun` so nothing timing-shaped can leak into ``BENCH_*``
+    artifacts.  Serialised separately as ``TIMINGS_<scenario>.json`` via
+    :func:`write_timings_artifacts` for the CI perf-trend job.
     """
 
     #: scenario id -> summed worker-seconds over its units.
     scenario_seconds: dict[str, float] = field(default_factory=dict)
     #: scenario id -> unit count.
     scenario_units: dict[str, int] = field(default_factory=dict)
+    #: scenario id -> summed kernel events fired over its units.
+    scenario_events: dict[str, int] = field(default_factory=dict)
+    #: scenario id -> per-unit records, in completion order.
+    unit_records: dict[str, list[dict]] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     def record(self, outcome: UnitOutcome) -> None:
-        self.scenario_seconds[outcome.scenario_id] = (
-            self.scenario_seconds.get(outcome.scenario_id, 0.0) + outcome.elapsed
+        scenario_id = outcome.scenario_id
+        self.scenario_seconds[scenario_id] = (
+            self.scenario_seconds.get(scenario_id, 0.0) + outcome.elapsed
         )
-        self.scenario_units[outcome.scenario_id] = (
-            self.scenario_units.get(outcome.scenario_id, 0) + 1
+        self.scenario_units[scenario_id] = self.scenario_units.get(scenario_id, 0) + 1
+        self.scenario_events[scenario_id] = (
+            self.scenario_events.get(scenario_id, 0) + outcome.events
         )
+        self.unit_records.setdefault(scenario_id, []).append(
+            {
+                "replicate": outcome.replicate,
+                "cell": None if outcome.cell is None else _cell_label(outcome.cell),
+                "elapsed_seconds": outcome.elapsed,
+                "events": outcome.events,
+                "events_per_second": (
+                    outcome.events / outcome.elapsed if outcome.elapsed > 0 else None
+                ),
+            }
+        )
+
+    def timings_artifact(self, scenario_id: str, *, tier: str, workers: int) -> dict:
+        """The ``TIMINGS_<scenario>.json`` payload for one scenario.
+
+        Unit records are sorted by ``(replicate, cell)`` so the layout is
+        stable across scheduling orders even though the *values* are
+        wall-clock and change every run.
+        """
+        units = sorted(
+            self.unit_records.get(scenario_id, []),
+            key=lambda record: (record["replicate"], record["cell"] or ""),
+        )
+        seconds = self.scenario_seconds.get(scenario_id, 0.0)
+        events = self.scenario_events.get(scenario_id, 0)
+        return {
+            "schema": TIMINGS_SCHEMA,
+            "scenario": scenario_id,
+            "tier": tier,
+            "workers": workers,
+            "units": units,
+            "totals": {
+                "units": self.scenario_units.get(scenario_id, 0),
+                "worker_seconds": seconds,
+                "events": events,
+                "events_per_second": events / seconds if seconds > 0 else None,
+            },
+            "sweep_wall_seconds": self.wall_seconds,
+        }
 
 
 def build_units(
@@ -459,6 +523,26 @@ def write_artifacts(
     return [write_artifact(directory, run.artifact()) for run in runs.values()]
 
 
+def write_timings_artifacts(
+    timings: SweepTimings,
+    directory: pathlib.Path | str,
+    *,
+    tier: str,
+    workers: int,
+) -> list[pathlib.Path]:
+    """Persist per-scenario ``TIMINGS_<scenario>.json`` under ``directory``.
+
+    Kept strictly apart from :func:`write_artifacts`: BENCH files must be
+    byte-stable across runs, TIMINGS files never are.
+    """
+    return [
+        write_timings_file(
+            directory, timings.timings_artifact(scenario_id, tier=tier, workers=workers)
+        )
+        for scenario_id in sorted(timings.scenario_units)
+    ]
+
+
 def run_and_report(
     scenario_ids: Sequence[str],
     tier: str,
@@ -471,14 +555,16 @@ def run_and_report(
     cells: bool = True,
     snapshot_cache: bool = True,
     out_dir: Optional[pathlib.Path | str] = None,
+    timings_dir: Optional[pathlib.Path | str] = None,
     check: bool = False,
     stream=None,
 ) -> dict[str, ScenarioRun]:
     """The CLI's whole job: run, render, optionally check and persist.
 
     Timing (per unit, per scenario, total) is reported to ``stream``
-    (default stderr) only — it never enters the artifacts, which must
-    stay deterministic.
+    (default stderr) and — when ``timings_dir`` (default: ``out_dir``) is
+    set — persisted as ``TIMINGS_<scenario>.json`` for CI trending.  It
+    never enters the ``BENCH_*`` artifacts, which must stay deterministic.
     """
     stream = stream if stream is not None else sys.stderr
     timings = SweepTimings()
@@ -495,9 +581,21 @@ def run_and_report(
         f"{workers} worker(s) in {timings.wall_seconds:.1f}s",
         file=stream,
     )
-    print(format_timings(timings.scenario_seconds, timings.scenario_units), file=stream)
+    print(
+        format_timings(
+            timings.scenario_seconds, timings.scenario_units, timings.scenario_events
+        ),
+        file=stream,
+    )
     if out_dir is not None:
         for path in write_artifacts(runs, out_dir):
+            print(f"  wrote {path}", file=stream)
+    if timings_dir is None:
+        timings_dir = out_dir
+    if timings_dir is not None:
+        for path in write_timings_artifacts(
+            timings, timings_dir, tier=tier, workers=workers
+        ):
             print(f"  wrote {path}", file=stream)
     if check:
         for run in runs.values():

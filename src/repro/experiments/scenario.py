@@ -270,9 +270,16 @@ class Scenario:
 
         Requires a drained engine: freezing live pending events would
         duplicate in-flight messages in every rehydrated copy.  Lazily
-        cancelled timers still parked in the heap are *not* pending work —
+        cancelled timers still parked in the queue are *not* pending work —
         they are compacted away rather than blocking the freeze (and would
         otherwise bloat the blob).
+
+        Blobs are compact: every RNG stream pickles as its ``(seed,
+        words_consumed)`` pair (see :class:`~repro.common.rng.
+        StreamRandom`) rather than the full Mersenne-Twister state, which
+        shrinks paper-scale snapshots by roughly an order of magnitude.
+        Thawed streams fast-forward lazily on first draw, so rehydration
+        cost is paid only for the nodes a measurement actually touches.
         """
         if self.engine.live_pending:
             raise SimulationError("cannot freeze a scenario with pending events")

@@ -15,10 +15,13 @@ depend on cache occupancy, worker identity or checkout order, which is
 what keeps ``BENCH_*.json`` artifacts byte-identical across ``--workers``
 and ``--no-snapshot-cache`` settings.
 
-The cache is bounded (default 4 blobs) because paper-scale blobs are tens
-of megabytes: a worker sweeping one scenario touches at most one blob per
-protocol, and the LRU keeps exactly the working set of the grid it is
-currently sharded over.
+The cache is bounded (default 4 blobs).  Blobs used to be tens of
+megabytes at paper scale — dominated by per-node ``random.Random`` state
+(~2.5 KB per stream, three streams per node) — until the compact
+``(seed, words_consumed)`` stream encoding (:class:`~repro.common.rng.
+StreamRandom`) cut them by roughly 10x; the bound now mostly guards
+against configuration-sweep scenarios that key many distinct params.
+``stats()`` reports the cached byte total so sweep logs can watch it.
 """
 
 from __future__ import annotations
@@ -92,4 +95,5 @@ class SnapshotCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "cached_bytes": sum(len(blob) for blob in self._blobs.values()),
         }

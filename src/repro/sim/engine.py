@@ -1,9 +1,9 @@
 """Discrete-event simulation kernel.
 
-This is the substrate the paper gets from PeerSim [11]: a priority queue of
-timestamped events plus helpers for periodic (cycle-driven) behaviour.  The
-kernel is deliberately minimal and fast — a heap of plain tuples — because
-reproduction experiments push millions of message events through it.
+This is the substrate the paper gets from PeerSim [11]: a timestamp-ordered
+event queue plus helpers for periodic (cycle-driven) behaviour.  The kernel
+is deliberately minimal and fast because reproduction experiments push
+millions of message events through it.
 
 Two driving styles are supported, matching PeerSim's two modes:
 
@@ -13,37 +13,64 @@ Two driving styles are supported, matching PeerSim's two modes:
   explicitly and drains the resulting event cascade between cycles, which is
   exactly how the paper alternates "membership cycles" and message batches.
 
+**Queue layout (the bucket/calendar queue).**  Simulated latencies take few
+distinct values, so at any instant the pending events cluster on a handful
+of distinct timestamps.  The queue exploits that: events live in per-
+timestamp FIFO *buckets* (``dict[float, list]``), and a small binary heap
+indexes just the distinct timestamps.  Posting into an existing bucket is
+an O(1) list append (the common case: every delivery of one broadcast hop
+shares a timestamp); the heap is only touched when a *new* timestamp
+appears — for far-future timers that overflow past the currently-active
+times, and once per bucket on the drain side.  A one-entry *hot bucket*
+cache short-circuits even the dict lookup for back-to-back posts at the
+same instant.  Within a bucket events fire in insertion order, which is
+exactly the global ``(time, insertion)`` order the previous heap-of-tuples
+implementation guaranteed — event ordering is byte-identical, it just no
+longer costs a heap push/pop per event.
+
 Two scheduling APIs serve two traffic classes:
 
 * :meth:`Engine.schedule` / :meth:`Engine.schedule_at` return a cancellable
   :class:`EventHandle` — for timers, which protocols routinely cancel;
 * :meth:`Engine.post` / :meth:`Engine.post_at` are the allocation-light fast
   path for events that are *never* cancelled (message deliveries, probe
-  results): no handle object is created, the heap holds a bare
-  ``(time, seq, callback, args)`` tuple.  Both kinds coexist in one heap —
-  the unique per-engine sequence number guarantees tuple comparison never
-  reaches the third element.
+  results): no handle object is created, the bucket holds the bare callback
+  and argument tuple.
 
-Cancellation stays O(1) and lazy, but the engine now *counts* lazily
-cancelled events and compacts the heap whenever they outnumber the live
-ones (beyond a small floor), so a workload that cancels millions of timers
-— e.g. per-message retransmit timers that are almost always acked — no
-longer drags a dead heap behind it.  :attr:`Engine.live_pending` reports
-the true outstanding-event count.
+Cancellation stays O(1) and lazy, and the engine *counts* lazily cancelled
+events and compacts the buckets whenever they outnumber the live ones
+(beyond a small floor), so a workload that cancels millions of timers —
+e.g. per-message retransmit timers that are almost always acked — never
+drags a dead queue behind it.  :attr:`Engine.live_pending` reports the true
+outstanding-event count.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from ..common.errors import SimulationError
 from ..common.interfaces import TimerHandle
 
-#: Compaction never triggers below this many cancelled events: tiny heaps
+#: Compaction never triggers below this many cancelled events: tiny queues
 #: are cheap to carry and rebuilding them would cost more than it saves.
 COMPACTION_FLOOR = 64
+
+#: Marker stored in a bucket slot in place of a callback to flag that the
+#: following slot holds a cancellable :class:`EventHandle` instead of a
+#: plain argument tuple.  ``None`` can never be a callback.
+_HANDLE = None
+
+# Process-wide count of events fired by every engine in this process; the
+# orchestrator samples it around each work unit to report kernel events/s
+# in the TIMINGS artifacts (observability only, never in BENCH artifacts).
+_fired_total = 0
+
+
+def events_fired_total() -> int:
+    """Events fired by all engines in this process since import."""
+    return _fired_total
 
 
 class EventHandle(TimerHandle):
@@ -70,8 +97,8 @@ class EventHandle(TimerHandle):
         if self._cancelled:
             return
         self._cancelled = True
-        # Drop references so cancelled events pinned in the heap do not keep
-        # large object graphs alive.
+        # Drop references so cancelled events pinned in the queue do not
+        # keep large object graphs alive.
         self._callback = None
         self._args = ()
         engine = self._engine
@@ -97,12 +124,25 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        # Entries are (time, seq, EventHandle) for cancellable timers and
-        # (time, seq, callback, args) for post()ed fire-and-forget events.
-        self._queue: list[tuple] = []
-        self._sequence = count()
+        # timestamp -> flat FIFO bucket [cb, args, cb, args, ...]; timer
+        # entries use the (_HANDLE, EventHandle) slot pair instead.
+        self._buckets: dict[float, list] = {}
+        # Heap of the distinct pending timestamps (one entry per bucket).
+        self._times: list[float] = []
+        # Most recently appended-to bucket: posts during a drain almost
+        # always target one future instant (now + the constant latency),
+        # so this skips the dict lookup for all but the first of them.
+        self._hot_time: Optional[float] = None
+        self._hot_bucket: Optional[list] = None
+        self._size = 0
         self._processed = 0
         self._cancelled = 0
+        # Auto-compaction threshold.  Raised (exponential backoff) when a
+        # compaction cannot reclaim anything — entries of a bucket that is
+        # mid-drain have left the queue structures and are unreachable
+        # until the drain loop skips them — so mass same-instant cancels
+        # cost O(Q log N) in rebuilds, not a full scan per cancel.
+        self._compact_watermark = COMPACTION_FLOOR
 
     @property
     def now(self) -> float:
@@ -114,18 +154,18 @@ class Engine:
         """Number of queued events, *including* lazily-cancelled ones.
 
         For "is there outstanding work?" checks use :attr:`live_pending`
-        instead — a heap full of cancelled timers is not pending work.
+        instead — a queue full of cancelled timers is not pending work.
         """
-        return len(self._queue)
+        return self._size
 
     @property
     def live_pending(self) -> int:
         """Number of queued events that will actually fire."""
-        return len(self._queue) - self._cancelled
+        return self._size - self._cancelled
 
     @property
     def cancelled_pending(self) -> int:
-        """Number of lazily-cancelled events still occupying the heap."""
+        """Number of lazily-cancelled events still occupying the queue."""
         return self._cancelled
 
     @property
@@ -136,12 +176,31 @@ class Engine:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _append(self, when: float, first: Any, second: Any) -> None:
+        """Append one two-slot entry to the bucket for ``when``."""
+        if when == self._hot_time:
+            bucket = self._hot_bucket
+            bucket.append(first)
+            bucket.append(second)
+            return
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            bucket = [first, second]
+            self._buckets[when] = bucket
+            heappush(self._times, when)
+        else:
+            bucket.append(first)
+            bucket.append(second)
+        self._hot_time = when
+        self._hot_bucket = bucket
+
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
         handle = EventHandle(when, callback, args, self)
-        heapq.heappush(self._queue, (when, next(self._sequence), handle))
+        self._append(when, _HANDLE, handle)
+        self._size += 1
         return handle
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -153,68 +212,154 @@ class Engine:
     def post_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
         """Fast path: schedule a *non-cancellable* event at time ``when``.
 
-        No handle is allocated; the heap entry is a bare tuple.  Use for
-        high-volume events nothing ever cancels (message deliveries).
+        No handle is allocated; the bucket holds the bare callback and
+        argument tuple.  Use for high-volume events nothing ever cancels
+        (message deliveries).
         """
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
-        heapq.heappush(self._queue, (when, next(self._sequence), callback, args))
+        self._append(when, callback, args)
+        self._size += 1
 
     def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Fast path: :meth:`post_at` after ``delay`` seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        heapq.heappush(
-            self._queue, (self._now + delay, next(self._sequence), callback, args)
-        )
+        when = self._now + delay
+        # Inlined _append: this is the hottest call in the simulator.
+        if when == self._hot_time:
+            bucket = self._hot_bucket
+        else:
+            bucket = self._buckets.get(when)
+            if bucket is None:
+                bucket = []
+                self._buckets[when] = bucket
+                heappush(self._times, when)
+            self._hot_time = when
+            self._hot_bucket = bucket
+        bucket.append(callback)
+        bucket.append(args)
+        self._size += 1
 
     # ------------------------------------------------------------------
     # Compaction of lazily-cancelled events
     # ------------------------------------------------------------------
     def _note_cancel(self) -> None:
         self._cancelled += 1
-        if self._cancelled > COMPACTION_FLOOR and self._cancelled * 2 > len(self._queue):
+        if self._cancelled > self._compact_watermark and self._cancelled * 2 > self._size:
             self.compact()
 
     def compact(self) -> int:
         """Physically remove lazily-cancelled events; returns how many.
 
-        Rebuilds in place (the queue list keeps its identity) so run loops
-        holding a local reference to the queue observe the compaction.
+        Buckets and the timestamp heap are rebuilt *in place* (both keep
+        their identity) so run loops holding local references observe the
+        compaction.  Entries of a bucket that is being drained right now
+        have already left the queue structures and are skipped (and
+        accounted) by the drain loop itself.
         """
         if not self._cancelled:
             return 0
-        queue = self._queue
-        kept = [entry for entry in queue if not (len(entry) == 3 and entry[2]._cancelled)]
-        removed = len(queue) - len(kept)
-        queue[:] = kept
-        heapq.heapify(queue)
-        self._cancelled = 0
+        buckets = self._buckets
+        removed = 0
+        for when in list(buckets):
+            bucket = buckets[when]
+            kept: list = []
+            append = kept.append
+            it = iter(bucket)
+            for first in it:
+                second = next(it)
+                if first is _HANDLE and second._cancelled:
+                    second._engine = None
+                    removed += 1
+                else:
+                    append(first)
+                    append(second)
+            if kept:
+                bucket[:] = kept
+            else:
+                del buckets[when]
+        # Rebuild the timestamp index in place: one entry per surviving
+        # bucket (drop times whose buckets emptied).
+        self._times[:] = buckets
+        heapify(self._times)
+        self._hot_time = None
+        self._hot_bucket = None
+        self._size -= removed
+        self._cancelled -= removed
+        # Any remainder is pinned in a mid-drain bucket; back off so the
+        # next few cancels do not rescan everything for nothing.  A clean
+        # sweep resets the watermark to the floor.
+        self._compact_watermark = max(COMPACTION_FLOOR, 2 * self._cancelled)
         return removed
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
+    def _salvage(self, when: float, remainder: list) -> None:
+        """Re-queue the un-fired tail of a bucket whose drain raised.
+
+        Keeps the queue consistent when a callback (or the runaway-cascade
+        guard) raises mid-bucket: the remaining entries go back in front of
+        anything posted at ``when`` during the partial drain.
+        """
+        if not remainder:
+            return
+        existing = self._buckets.get(when)
+        if existing is None:
+            self._buckets[when] = remainder
+            heappush(self._times, when)
+        else:
+            existing[:0] = remainder  # older entries fire first
+        self._hot_time = None
+        self._hot_bucket = None
+
     def step(self) -> bool:
         """Fire the earliest event.  Returns ``False`` when the queue is
         empty (time does not advance in that case)."""
-        queue = self._queue
-        while queue:
-            entry = heapq.heappop(queue)
-            if len(entry) == 3:
-                handle = entry[2]
-                if handle._cancelled:
-                    self._cancelled -= 1
-                    continue
-                handle._engine = None
-                self._now = entry[0]
+        times = self._times
+        buckets = self._buckets
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            index = 0
+            while index < len(bucket):
+                first = bucket[index]
+                second = bucket[index + 1]
+                index += 2
+                if first is _HANDLE:
+                    if second._cancelled:
+                        self._cancelled -= 1
+                        self._size -= 1
+                        continue
+                    second._engine = None
+                self._size -= 1
+                # Re-stash the un-fired remainder *before* the callback
+                # runs, so nested posts at the same instant land after it.
+                remainder = bucket[index:]
+                if remainder:
+                    bucket[:] = remainder
+                else:
+                    del buckets[when]
+                    heappop(times)
+                if when == self._hot_time:
+                    self._hot_time = None
+                    self._hot_bucket = None
+                self._now = when
                 self._processed += 1
-                handle._fire()
-            else:
-                self._now = entry[0]
-                self._processed += 1
-                entry[2](*entry[3])
-            return True
+                global _fired_total
+                _fired_total += 1
+                if first is _HANDLE:
+                    second._fire()
+                else:
+                    first(*second)
+                return True
+            # Entire bucket was cancelled entries.
+            del buckets[when]
+            heappop(times)
+            if when == self._hot_time:
+                self._hot_time = None
+                self._hot_bucket = None
         return False
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:
@@ -224,33 +369,50 @@ class Engine:
         schedules unboundedly); exceeding it raises :class:`SimulationError`
         instead of hanging the test suite.
         """
-        # The drain loop is the hottest code in the simulator: pop and
-        # dispatch inline rather than paying a step() call per event.
-        queue = self._queue
-        pop = heapq.heappop
+        # The drain loop is the hottest code in the simulator: take one
+        # whole bucket at a time and dispatch its entries inline.  Posts
+        # from callbacks at the *same* instant open a fresh bucket, which
+        # the next iteration of the outer loop picks up — preserving the
+        # global (time, insertion-order) firing order exactly.
+        times = self._times
+        buckets = self._buckets
         fired = 0
+        cancelled_skipped = 0
         try:
-            while queue:
-                entry = pop(queue)
-                if len(entry) == 3:
-                    handle = entry[2]
-                    if handle._cancelled:
-                        self._cancelled -= 1
-                        continue
-                    handle._engine = None
-                    self._now = entry[0]
-                    fired += 1
-                    handle._callback(*handle._args)
-                else:
-                    self._now = entry[0]
-                    fired += 1
-                    entry[2](*entry[3])
-                if max_events is not None and fired > max_events:
-                    raise SimulationError(
-                        f"run_until_idle exceeded {max_events} events — runaway cascade?"
-                    )
+            while times:
+                when = heappop(times)
+                bucket = buckets.pop(when)
+                if when == self._hot_time:
+                    self._hot_time = None
+                    self._hot_bucket = None
+                self._now = when
+                it = iter(bucket)
+                try:
+                    for first in it:
+                        second = next(it)
+                        if first is _HANDLE:
+                            if second._cancelled:
+                                cancelled_skipped += 1
+                                continue
+                            second._engine = None
+                            fired += 1
+                            second._callback(*second._args)
+                        else:
+                            fired += 1
+                            first(*second)
+                        if max_events is not None and fired > max_events:
+                            raise SimulationError(
+                                f"run_until_idle exceeded {max_events} events — runaway cascade?"
+                            )
+                except BaseException:
+                    self._salvage(when, list(it))
+                    raise
         finally:
             self._processed += fired
+            self._size -= fired + cancelled_skipped
+            self._cancelled -= cancelled_skipped
+            global _fired_total
+            _fired_total += fired
         return fired
 
     def run_until(self, deadline: float) -> int:
@@ -258,35 +420,65 @@ class Engine:
         clock to ``deadline``.  Returns the number of events fired."""
         if deadline < self._now:
             raise SimulationError(f"deadline in the past: {deadline} < {self._now}")
-        queue = self._queue
-        pop = heapq.heappop
+        times = self._times
+        buckets = self._buckets
         fired = 0
+        cancelled_skipped = 0
         try:
-            while queue:
-                if queue[0][0] > deadline:
+            while times:
+                when = times[0]
+                if when > deadline:
                     break
-                entry = pop(queue)
-                if len(entry) == 3:
-                    handle = entry[2]
-                    if handle._cancelled:
-                        self._cancelled -= 1
-                        continue
-                    handle._engine = None
-                    self._now = entry[0]
-                    fired += 1
-                    handle._callback(*handle._args)
-                else:
-                    self._now = entry[0]
-                    fired += 1
-                    entry[2](*entry[3])
+                heappop(times)
+                bucket = buckets.pop(when)
+                if when == self._hot_time:
+                    self._hot_time = None
+                    self._hot_bucket = None
+                self._now = when
+                it = iter(bucket)
+                try:
+                    for first in it:
+                        second = next(it)
+                        if first is _HANDLE:
+                            if second._cancelled:
+                                cancelled_skipped += 1
+                                continue
+                            second._engine = None
+                            fired += 1
+                            second._callback(*second._args)
+                        else:
+                            fired += 1
+                            first(*second)
+                except BaseException:
+                    self._salvage(when, list(it))
+                    raise
         finally:
             self._processed += fired
+            self._size -= fired + cancelled_skipped
+            self._cancelled -= cancelled_skipped
+            global _fired_total
+            _fired_total += fired
         self._now = deadline
         return fired
 
     def run_for(self, duration: float) -> int:
         """Convenience: :meth:`run_until` ``now + duration``."""
         return self.run_until(self._now + duration)
+
+    # ------------------------------------------------------------------
+    # Pickling (scenario snapshots)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # The hot-bucket cache is a pure accelerator; dropping it keeps
+        # snapshots of otherwise-identical engines byte-identical no
+        # matter which instant was posted to last.
+        state = {slot: getattr(self, slot) for slot in self.__dict__}
+        state["_hot_time"] = None
+        state["_hot_bucket"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 class PeriodicTask:

@@ -99,6 +99,9 @@ class Network:
         seeds = seeds if seeds is not None else SeedSequence(0)
         self.seeds = seeds
         self._rng: random.Random = seeds.stream("network")
+        # Deliveries ride the engine's handle-free post fast path; the
+        # pre-bound method drops two attribute hops from every send.
+        self._post = engine.post
         self._nodes: dict[NodeId, "SimNode"] = {}
         self._alive: set[NodeId] = set()
         self._partition: Optional[dict[NodeId, int]] = None
@@ -150,7 +153,7 @@ class Network:
         if watchers:
             for watcher, callback in watchers.items():
                 delay = self.latency.delay(node_id, watcher, self._rng)
-                self.engine.post(delay, self._notify_link_down, watcher, node_id, callback)
+                self._post(delay, self._notify_link_down, watcher, node_id, callback)
         # The crashed node's own held connections die with it: purge its
         # outgoing watch registrations so a later revived incarnation never
         # receives callbacks wired to the dead protocol instance.
@@ -230,11 +233,11 @@ class Network:
         delay = self.latency.delay(src, dst, self._rng)
         if on_failure is not None:
             if self.reachable(src, dst):
-                self.engine.post(delay, self._deliver_reliable, src, dst, message, on_failure)
+                self._post(delay, self._deliver_reliable, src, dst, message, on_failure)
             else:
                 # TCP reset / connect failure: the sender learns after one
                 # network delay that the peer is gone.
-                self.engine.post(delay, self._notify_failure, src, dst, message, on_failure)
+                self._post(delay, self._notify_failure, src, dst, message, on_failure)
             return
         if not self.reachable(src, dst):
             stats.dropped_dead += 1
@@ -246,7 +249,7 @@ class Network:
             if self.trace is not None:
                 self.trace.record(self.engine.now, "drop-loss", src, dst, message)
             return
-        self.engine.post(delay, self._deliver, src, dst, message)
+        self._post(delay, self._deliver, src, dst, message)
 
     def watch(self, src: NodeId, dst: NodeId, on_down: Callable[[NodeId], None]) -> None:
         """``src`` holds an open connection to ``dst`` (Transport.watch).
@@ -256,7 +259,7 @@ class Network:
         """
         if dst not in self._alive:
             delay = self.latency.delay(dst, src, self._rng)
-            self.engine.post(delay, self._notify_link_down, src, dst, on_down)
+            self._post(delay, self._notify_link_down, src, dst, on_down)
             return
         self._watchers.setdefault(dst, {})[src] = on_down
 
@@ -282,7 +285,7 @@ class Network:
         ok = self.reachable(src, dst)
         if self.trace is not None:
             self.trace.record(self.engine.now, "probe", src, dst, None)
-        self.engine.post(rtt, self._probe_result, src, dst, ok, on_result)
+        self._post(rtt, self._probe_result, src, dst, ok, on_result)
 
     # ------------------------------------------------------------------
     # Internal delivery machinery

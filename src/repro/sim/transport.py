@@ -18,14 +18,16 @@ class SimTransport(Transport):
     about one implementation.
     """
 
-    __slots__ = ("_network", "_local", "_network_send")
+    __slots__ = ("_network", "_local", "_network_send", "_network_probe")
 
     def __init__(self, network: Network, local: NodeId) -> None:
         self._network = network
         self._local = local
-        # send() is the hottest call in the simulator; pre-binding the
-        # network method skips two attribute lookups per message.
+        # send() is the hottest call in the simulator (and probe() is hot
+        # under churn); pre-binding the network methods skips two
+        # attribute lookups per message.
         self._network_send = network.send
+        self._network_probe = network.probe
 
     @property
     def local_address(self) -> NodeId:
@@ -40,7 +42,7 @@ class SimTransport(Transport):
         self._network_send(self._local, dst, message, on_failure)
 
     def probe(self, dst: NodeId, on_result: ProbeCallback) -> None:
-        self._network.probe(self._local, dst, on_result)
+        self._network_probe(self._local, dst, on_result)
 
     def watch(self, dst: NodeId, on_down: Callable[[NodeId], None]) -> None:
         self._network.watch(self._local, dst, on_down)

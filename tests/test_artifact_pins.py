@@ -1,0 +1,60 @@
+"""Pinned SHA-256 hashes of the smoke-tier ``BENCH_*.json`` artifacts.
+
+These hashes were recorded from the PR-2 codebase (mixed-tuple heapq
+kernel, full pickled ``random.Random`` snapshot state) and pin the
+byte-identity acceptance criterion of the bucket-queue/compact-RNG
+rework: the simulation substrate may change, the measured artifacts may
+not — ever, by a single byte.
+
+A cheap three-scenario subset runs in the regular suite; the full
+fifteen-scenario sweep is slow-marked (a few minutes) and runs with the
+slow tier of CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.experiments.reporting import encode_artifact
+from repro.experiments.runner import run_scenarios
+
+#: sha256 of every smoke-tier artifact at root seed 42, recorded at PR 2.
+PR2_SMOKE_SHA256 = {
+    "ablation_flood_resend": "f9f6d70e935d9600bc1efaf8bf788dbd111fb6e897cc161508f7e1530e2f0b38",
+    "ablation_passive_size": "79a553cc0d30b6c9004e1225ad27583ee08f81c89215293ddbb59ab38bbcd694",
+    "ablation_plumtree": "29ad4100ee07b4495e96f62528b909bdfed5db68d7052d4d128d982f667d8f5c",
+    "ablation_shuffle_ttl": "3ed1de51243d727c9d6c216dd8348a29937251133e8a540cf274fceaeeae9b24",
+    "churn": "0765852f3e5922d91faf35c95974af2314177614110f2f1074dbf4bf48a06594",
+    "fig1_hyparview_reference": "c8d7e26bcce14fe1b5ba2807334d2b5f547e78bc2988fcf0b5ea0ea680d9c928",
+    "fig1a_cyclon_fanout": "ecd2e364928a0ebf6b4a7aad8857bf82e81934ad82aa62222b8338ef404f5333",
+    "fig1b_scamp_fanout": "652cc0e5030789b9cb958a4bd7b0f4df9b3d20befbfc087547d89bfb2638487e",
+    "fig1c_failure50": "b2fbb79117e4078b11f1ad764cbbb8a30c8815bd761acc23efa02fa9c0fa876e",
+    "fig2_reliability": "de25beb4f231d442ef161991735278c6c27abdac6d9f49869342b43b9a8c7838",
+    "fig3_recovery": "e49f6e30b97acc2ca5cbfc971ea8f4d1bef8c3571cb54cb00a4c94e2cca6f327",
+    "fig4_healing": "5d915cce24b53bcc7caad3d881acc17a838253ced679ed91d59b5fb5808f98e2",
+    "fig5_indegree": "34bda314256aa0b0667445eefbf7a0ac18dd924a91596d0eb7445ca66aaa1ce3",
+    "overhead": "bdce9df4930b2b56d5e32b65d3c37345af1189f1ef1e880d005bf41453fb7a3b",
+    "table1_graph": "41dea422b92627b92f08873dbc0d51e247f233dc39c0be355e520a9269e9f2aa",
+}
+
+#: Scenarios cheap enough to pin on every test run (seconds, not minutes).
+FAST_SUBSET = ("fig1_hyparview_reference", "fig1c_failure50", "ablation_flood_resend")
+
+
+def _hashes(scenario_ids) -> dict[str, str]:
+    runs = run_scenarios(list(scenario_ids), "smoke", workers=1)
+    return {
+        scenario_id: hashlib.sha256(encode_artifact(run.artifact()).encode()).hexdigest()
+        for scenario_id, run in runs.items()
+    }
+
+
+def test_fast_subset_matches_pr2_artifacts():
+    assert _hashes(FAST_SUBSET) == {k: PR2_SMOKE_SHA256[k] for k in FAST_SUBSET}
+
+
+@pytest.mark.slow
+def test_all_fifteen_smoke_artifacts_match_pr2():
+    assert _hashes(PR2_SMOKE_SHA256) == PR2_SMOKE_SHA256

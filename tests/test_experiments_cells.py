@@ -219,3 +219,86 @@ class TestFreezeThaw:
         assert scenario.engine.pending > 0
         clone = scenario.clone()  # would raise before the fix
         assert clone.engine.live_pending == 0
+
+
+class TestAblationCells:
+    """The four ablations expose their per-point sweeps as cells."""
+
+    ABLATIONS = {
+        "ablation_passive_size": 2,   # passive_sizes (3, 8) at smoke tier
+        "ablation_shuffle_ttl": 2,    # ttls (1, 6)
+        "ablation_flood_resend": 2,   # resend False/True
+        "ablation_plumtree": 2,       # flood vs tree layer
+    }
+
+    def test_every_ablation_supports_cells(self):
+        for scenario_id, expected in self.ABLATIONS.items():
+            spec = get_scenario(scenario_id)
+            assert spec.supports_cells, scenario_id
+            units = build_units([scenario_id], "smoke", **TINY)
+            assert len(units) == expected, scenario_id
+            assert all(unit.cell is not None for unit in units)
+
+    @pytest.mark.parametrize("scenario_id", sorted(ABLATIONS))
+    def test_merge_reproduces_monolithic_run(self, scenario_id):
+        spec = get_scenario(scenario_id)
+        units = build_units([scenario_id], "smoke", **TINY)
+        _, context = units[0].resolve()
+        cell_results = {
+            unit.cell: spec.run_cell(unit.resolve()[1], unit.cell) for unit in units
+        }
+        merged = spec.merge_cells(context, cell_results)
+        assert merged == spec.run(context)
+
+    def test_resend_cells_share_one_base(self):
+        units = build_units(["ablation_flood_resend"], "smoke", **TINY)
+        assert len(build_chunks(units, 1)) == 1  # one affinity group
+
+    def test_ablation_artifacts_identical_across_modes(self):
+        ids = ["ablation_passive_size", "ablation_flood_resend"]
+        reference = run_scenarios(ids, "smoke", workers=1, cells=False,
+                                  snapshot_cache=False, **TINY)
+        for workers, cells, cache in [(1, True, True), (2, True, True)]:
+            candidate = run_scenarios(ids, "smoke", workers=workers, cells=cells,
+                                      snapshot_cache=cache, **TINY)
+            assert _artifact_bytes(candidate) == _artifact_bytes(reference), (
+                workers, cells, cache,
+            )
+
+
+class TestTimingsArtifacts:
+    def test_timings_artifact_schema_and_separation(self, tmp_path):
+        from repro.experiments.reporting import load_timings, timings_filename
+        from repro.experiments.runner import write_timings_artifacts
+
+        timings = SweepTimings()
+        run_scenarios([GRID_ID], "smoke", workers=1, timings=timings, **TINY)
+        paths = write_timings_artifacts(timings, tmp_path, tier="smoke", workers=1)
+        assert [p.name for p in paths] == [timings_filename(GRID_ID)]
+        record = load_timings(paths[0])
+        assert record["scenario"] == GRID_ID
+        assert record["tier"] == "smoke"
+        assert record["workers"] == 1
+        assert record["totals"]["units"] == 8
+        assert record["totals"]["worker_seconds"] > 0.0
+        # Kernel throughput is folded in per unit and in the totals.
+        assert record["totals"]["events"] > 0
+        assert record["totals"]["events_per_second"] > 0
+        for unit in record["units"]:
+            assert unit["events"] > 0
+            assert unit["elapsed_seconds"] > 0.0
+        # Layout is stable: units sorted by (replicate, cell), not by
+        # completion order.
+        keys = [(u["replicate"], u["cell"]) for u in record["units"]]
+        assert keys == sorted(keys)
+        # TIMINGS files never collide with the deterministic BENCH family.
+        assert not paths[0].name.startswith("BENCH_")
+
+    def test_unit_outcomes_report_events(self):
+        timings = SweepTimings()
+        run_scenarios(["fig1_hyparview_reference"], "smoke", workers=1,
+                      timings=timings, **TINY)
+        records = timings.unit_records["fig1_hyparview_reference"]
+        assert len(records) == 1
+        assert records[0]["events"] > 0
+        assert records[0]["cell"] is None

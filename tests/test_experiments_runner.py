@@ -263,6 +263,10 @@ class TestBenchCli:
         assert written == [
             "BENCH_fig1_hyparview_reference.json",
             "BENCH_fig1c_failure50.json",
+            # Wall-clock records ride along, in separate files, so the
+            # BENCH_* family stays deterministic.
+            "TIMINGS_fig1_hyparview_reference.json",
+            "TIMINGS_fig1c_failure50.json",
         ]
 
     def test_cell_and_cache_flags(self, capsys, tmp_path):

@@ -1,0 +1,117 @@
+"""Tests for the CI perf-trend delta renderer (benchmarks/perf_trend.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "perf_trend", ROOT / "benchmarks" / "perf_trend.py"
+)
+perf_trend = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("perf_trend", perf_trend)
+_spec.loader.exec_module(perf_trend)
+
+
+def _record(scenario: str, *, seconds=None, events_per_second=None) -> dict:
+    return {
+        "schema": "repro-timings/1",
+        "scenario": scenario,
+        "tier": "smoke",
+        "workers": 2,
+        "units": [],
+        "totals": {
+            "units": 1,
+            "worker_seconds": seconds,
+            "events": 100,
+            "events_per_second": events_per_second,
+        },
+    }
+
+
+def _write(directory: pathlib.Path, record: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"TIMINGS_{record['scenario']}.json"
+    path.write_text(json.dumps(record))
+
+
+class TestCompare:
+    def test_regression_beyond_threshold_warns(self):
+        current = {"fig2": _record("fig2", seconds=2.0)}
+        previous = {"fig2": _record("fig2", seconds=1.0)}
+        lines, warnings = perf_trend.compare(current, previous, threshold=0.30)
+        assert len(warnings) == 1
+        assert "fig2" in warnings[0]
+        assert any("regression" in line for line in lines)
+
+    def test_small_delta_is_ok(self):
+        current = {"fig2": _record("fig2", seconds=1.1)}
+        previous = {"fig2": _record("fig2", seconds=1.0)}
+        lines, warnings = perf_trend.compare(current, previous, threshold=0.30)
+        assert warnings == []
+        assert any("| fig2 |" in line and "| ok |" in line for line in lines)
+
+    def test_improvement_is_flagged_not_warned(self):
+        current = {"fig2": _record("fig2", seconds=0.5)}
+        previous = {"fig2": _record("fig2", seconds=1.0)}
+        lines, warnings = perf_trend.compare(current, previous, threshold=0.30)
+        assert warnings == []
+        assert any("improvement" in line for line in lines)
+
+    def test_events_per_second_trends_inverted(self):
+        """For kernel microbenchmarks, *lower* events/s is the regression."""
+        current = {"kernel": _record("kernel", events_per_second=1_000_000)}
+        previous = {"kernel": _record("kernel", events_per_second=2_000_000)}
+        _, warnings = perf_trend.compare(current, previous, threshold=0.30)
+        assert len(warnings) == 1
+        current = {"kernel": _record("kernel", events_per_second=3_000_000)}
+        _, warnings = perf_trend.compare(current, previous, threshold=0.30)
+        assert warnings == []
+
+    def test_new_and_retired_scenarios_listed(self):
+        current = {"fresh": _record("fresh", seconds=1.0)}
+        previous = {"gone": _record("gone", seconds=1.0)}
+        lines, warnings = perf_trend.compare(current, previous, threshold=0.30)
+        assert warnings == []
+        assert any("| fresh |" in line and "new" in line for line in lines)
+        assert any("| gone |" in line and "retired" in line for line in lines)
+
+    def test_no_previous_renders_current_only(self):
+        current = {"fig2": _record("fig2", seconds=1.0)}
+        lines, warnings = perf_trend.compare(current, {}, threshold=0.30)
+        assert warnings == []
+        assert any("| fig2 |" in line for line in lines)
+
+
+class TestLoadTimingsDir:
+    def test_loads_only_timings_schema(self, tmp_path):
+        _write(tmp_path, _record("fig2", seconds=1.0))
+        (tmp_path / "TIMINGS_broken.json").write_text("{not json")
+        (tmp_path / "TIMINGS_other.json").write_text(json.dumps({"schema": "x"}))
+        (tmp_path / "BENCH_fig2.json").write_text(json.dumps({"schema": "repro-bench/1"}))
+        records = perf_trend.load_timings_dir(tmp_path)
+        assert sorted(records) == ["fig2"]
+
+    def test_main_soft_fails_and_writes_summary(self, tmp_path, capsys):
+        current = tmp_path / "cur"
+        previous = tmp_path / "prev"
+        _write(current, _record("fig2", seconds=5.0))
+        _write(previous, _record("fig2", seconds=1.0))
+        summary = tmp_path / "summary.md"
+        code = perf_trend.main(
+            [
+                "--current", str(current),
+                "--previous", str(previous),
+                "--summary", str(summary),
+            ]
+        )
+        assert code == 0  # regressions warn, never fail
+        out = capsys.readouterr().out
+        assert "::warning" in out
+        assert "Perf trend" in summary.read_text()
+
+    def test_main_requires_current_timings(self, tmp_path):
+        assert perf_trend.main(["--current", str(tmp_path / "empty")]) == 1

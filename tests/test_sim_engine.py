@@ -1,11 +1,15 @@
 """Tests for the discrete-event engine."""
 
+import heapq
+import pickle
+from itertools import count
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common.errors import SimulationError
-from repro.sim.engine import Engine, PeriodicTask
+from repro.sim.engine import Engine, PeriodicTask, events_fired_total
 
 
 class TestScheduling:
@@ -331,3 +335,253 @@ class TestHeapCompaction:
         engine.schedule(9.0, fired.append, "tail")
         engine.run_until_idle()
         assert fired == ["compacted", "tail"]
+
+
+class TestBucketQueue:
+    """Edge cases of the per-timestamp bucket layout (the calendar queue)."""
+
+    def test_far_future_timer_overflows_past_near_buckets(self):
+        """A timer far beyond the active timestamps sits in the overflow
+        (timestamp heap) and fires last, surviving many near buckets."""
+        engine = Engine()
+        fired = []
+        engine.schedule(1_000_000.0, fired.append, "far")
+
+        def hop(i):
+            fired.append(i)
+            if i < 50:
+                engine.post(0.001, hop, i + 1)
+
+        engine.post(0.001, hop, 0)
+        engine.run_until_idle()
+        assert fired == list(range(51)) + ["far"]
+        assert engine.now == 1_000_000.0
+
+    def test_far_future_timer_not_touched_by_run_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1_000_000.0, fired.append, "far")
+        engine.post(1.0, fired.append, "near")
+        engine.run_until(10.0)
+        assert fired == ["near"]
+        assert engine.live_pending == 1
+        engine.run_until_idle()
+        assert fired == ["near", "far"]
+
+    def test_same_tick_fifo_across_posts_and_timers(self):
+        """Events at one instant fire in scheduling order regardless of
+        which API queued them — the exact order the old (time, seq) heap
+        guaranteed."""
+        engine = Engine()
+        fired = []
+        engine.post(1.0, fired.append, "p0")
+        engine.schedule(1.0, fired.append, "t0")
+        engine.post(1.0, fired.append, "p1")
+        engine.schedule(1.0, fired.append, "t1")
+        engine.post(1.0, fired.append, "p2")
+        engine.run_until_idle()
+        assert fired == ["p0", "t0", "p1", "t1", "p2"]
+
+    def test_zero_delay_post_during_drain_fires_at_same_instant(self):
+        """A delay-0 post from a callback lands after the current bucket
+        but before any later timestamp, at an unchanged clock."""
+        engine = Engine()
+        fired = []
+
+        def first():
+            fired.append(("first", engine.now))
+            engine.post(0.0, nested)
+
+        def nested():
+            fired.append(("nested", engine.now))
+
+        engine.post(1.0, first)
+        engine.post(1.0, fired.append, ("sibling", None))
+        engine.post(2.0, fired.append, ("later", None))
+        engine.run_until_idle()
+        assert fired == [
+            ("first", 1.0), ("sibling", None), ("nested", 1.0), ("later", None),
+        ]
+
+    def test_cancel_then_compact_preserves_survivor_order(self):
+        """Compaction removes cancelled entries from every bucket without
+        perturbing the firing order of the survivors."""
+        engine = Engine()
+        fired = []
+        doomed = []
+        survivors = []
+        for i in range(100):
+            when = 1.0 + (i % 5)  # five buckets, interleaved entries
+            doomed.append(engine.schedule(when, fired.append, ("doomed", i)))
+            survivors.append(engine.schedule(when, fired.append, i))
+        for handle in doomed:
+            handle.cancel()
+        removed = engine.compact()
+        assert removed > 0
+        assert engine.cancelled_pending == 0
+        assert engine.pending == 100
+        engine.run_until_idle()
+        # Survivors fire grouped by bucket (when), FIFO inside each.
+        expected = [i for offset in range(5) for i in range(offset, 100, 5)]
+        assert fired == expected
+
+    def test_compact_drops_empty_buckets_from_overflow(self):
+        engine = Engine()
+        handles = [engine.schedule(10.0 + i, lambda: None) for i in range(50)]
+        keeper = engine.schedule(5.0, lambda: None)
+        for handle in handles:
+            handle.cancel()
+        engine.compact()
+        assert engine.pending == 1
+        assert engine.live_pending == 1
+        engine.run_until_idle()
+        assert engine.now == keeper.time
+
+    def test_cancel_compact_inside_bucket_being_drained(self):
+        """Cancelling and compacting from a callback while later entries of
+        the *same* bucket are still queued must skip them correctly."""
+        engine = Engine()
+        fired = []
+
+        def killer():
+            for handle in doomed:
+                handle.cancel()
+            engine.compact()
+            fired.append("killer")
+
+        engine.schedule(1.0, killer)
+        doomed = [engine.schedule(1.0, fired.append, "doomed") for _ in range(80)]
+        engine.schedule(1.0, fired.append, "tail")
+        engine.run_until_idle()
+        assert fired == ["killer", "tail"]
+        assert engine.pending == 0
+        assert engine.cancelled_pending == 0
+
+    def test_runaway_guard_keeps_unfired_remainder_queued(self):
+        """Tripping max_events mid-bucket must not lose the queued tail."""
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            engine.post(1.0, fired.append, i)
+        with pytest.raises(SimulationError, match="runaway"):
+            engine.run_until_idle(max_events=5)
+        assert fired == list(range(6))  # the guard trips on event 6
+        assert engine.live_pending == 4
+        engine.run_until_idle()
+        assert fired == list(range(10))
+        assert engine.pending == 0
+
+    def test_pickle_round_trip_preserves_queue(self):
+        engine = Engine()
+        engine.post(1.0, print, "x")  # top-level callable: picklable
+        engine.post(1.0, print, "y")
+        engine.schedule(2.0, print, "z")
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.pending == 3
+        assert clone.live_pending == 3
+
+    def test_hot_bucket_cache_never_pickled(self):
+        """The hot-bucket cache is a pure accelerator: it is dropped on
+        pickling, so snapshot bytes are a fixed point of the round trip
+        and a thawed engine starts with a cold cache."""
+        engine = Engine()
+        engine.post(1.0, print, "x")
+        engine.post(1.0, print, "y")  # leaves the hot cache set
+        assert engine._hot_time is not None
+        frozen = pickle.dumps(engine)
+        thawed = pickle.loads(frozen)
+        assert thawed._hot_time is None
+        assert thawed._hot_bucket is None
+        assert pickle.dumps(thawed) == frozen
+        # And the thawed copy still accepts hot-path posts correctly.
+        thawed.post(1.0, print, "z")
+        assert thawed.pending == 3
+
+    def test_events_fired_total_advances(self):
+        before = events_fired_total()
+        engine = Engine()
+        for _ in range(7):
+            engine.post(1.0, lambda: None)
+        engine.run_until_idle()
+        assert events_fired_total() - before == 7
+
+
+def _reference_order(operations):
+    """Replay (delay, cancel_after) operations on a (time, seq) heap —
+    the pre-bucket-queue reference semantics."""
+    queue = []
+    seq = count()
+    fired = []
+    handles = {}
+    for index, (delay, cancel) in enumerate(operations):
+        heapq.heappush(queue, (delay, next(seq), index))
+        handles[index] = cancel
+    while queue:
+        _, _, index = heapq.heappop(queue)
+        if not handles[index]:
+            fired.append(index)
+    return fired
+
+
+class TestOrderEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0, 30.0]),
+                st.booleans(),
+            ),
+            max_size=60,
+        )
+    )
+    def test_bucket_queue_matches_reference_heap_order(self, operations):
+        """Mixed post/schedule/cancel traffic fires in exactly the order
+        the old mixed-tuple heap produced."""
+        engine = Engine()
+        fired = []
+        for index, (delay, cancel) in enumerate(operations):
+            if cancel:
+                engine.schedule(delay, fired.append, index).cancel()
+            elif index % 2:
+                engine.schedule(delay, fired.append, index)
+            else:
+                engine.post(delay, fired.append, index)
+        engine.run_until_idle()
+        assert fired == _reference_order(operations)
+        assert engine.pending == engine.cancelled_pending
+
+
+class TestCompactionBackoff:
+    def test_mass_same_instant_cancels_do_not_rescan_per_cancel(self):
+        """Cancelling many handles of the bucket currently being drained
+        must not trigger a full (and futile) compaction per cancel: the
+        watermark backs off exponentially when nothing was reclaimable."""
+        engine = Engine()
+        compactions = []
+        original = engine.compact
+
+        def counting_compact():
+            compactions.append(engine.cancelled_pending)
+            return original()
+
+        engine.compact = counting_compact
+
+        def cancel_all():
+            for handle in doomed:
+                handle.cancel()
+
+        engine.schedule(1.0, cancel_all)
+        doomed = [engine.schedule(1.0, lambda: None) for _ in range(2000)]
+        engine.run_until_idle()
+        # O(log N) rebuild attempts, not one per cancel past the floor.
+        assert len(compactions) <= 12
+        assert engine.pending == 0
+        assert engine.cancelled_pending == 0
+
+    def test_watermark_resets_after_clean_sweep(self):
+        engine = Engine()
+        handles = [engine.schedule(1.0 + i, lambda: None) for i in range(200)]
+        for handle in handles:
+            handle.cancel()  # reachable: auto-compaction sweeps most away
+        engine.compact()  # sweep the sub-floor remainder
+        assert engine.cancelled_pending == 0
+        assert engine._compact_watermark == 64  # back at COMPACTION_FLOOR
