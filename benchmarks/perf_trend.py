@@ -1,21 +1,27 @@
 """Commit-over-commit perf trending from ``TIMINGS_*.json`` artifacts.
 
 The CI ``perf-trend`` job downloads the current run's timings artifact and
-the previous successful run's (via ``gh api``), then calls this script to
+the last *k* successful runs' (via ``gh api``), then calls this script to
 render a markdown delta table into the GitHub job summary and emit
 ``::warning::`` annotations for per-scenario regressions beyond the
 threshold.
 
-Soft-fail by design: wall-clock on shared hosted runners is noisy, so a
-regression warns (and is visible in the summary trend) but never turns
-the build red.  The exit code is always 0 unless the inputs are unusable.
+The baseline is the **median of the previous runs** (pass ``--previous``
+once per run directory): hosted-runner wall-clock is noisy, and a single
+slow previous run used to produce both false "improvements" and missed
+regressions.  With one ``--previous`` the median degenerates to the old
+single-run comparison, so the interface is backwards compatible.
+
+Soft-fail by design: a regression warns (and is visible in the summary
+trend) but never turns the build red.  The exit code is always 0 unless
+the inputs are unusable.
 
 Usage::
 
-    python benchmarks/perf_trend.py --current DIR [--previous DIR]
-        [--summary FILE] [--threshold 0.30]
+    python benchmarks/perf_trend.py --current DIR
+        [--previous DIR]... [--summary FILE] [--threshold 0.30]
 
-Both directories hold ``TIMINGS_<scenario>.json`` files in the
+Every directory holds ``TIMINGS_<scenario>.json`` files in the
 ``repro-timings/1`` schema (written by ``repro bench`` and
 ``bench_kernel.py --json``).  Scenarios present on only one side are
 listed as new/retired rather than compared.
@@ -26,8 +32,9 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import statistics
 import sys
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 #: A regression is flagged when the metric worsens by more than this
 #: fraction (seconds grow, or kernel events/s shrink).
@@ -80,45 +87,83 @@ def _format_value(value: Optional[float], kind: str) -> str:
     return f"{value:,.0f} ev/s"
 
 
+def _history_metric(
+    history: Sequence[dict[str, dict]], scenario: str, kind: str
+) -> tuple[Optional[float], str, int]:
+    """The baseline for one scenario: median over the history window.
+
+    Only history records whose metric kind matches the current run's are
+    aggregated (a scenario that switched from seconds to events/s restarts
+    its baseline).  Returns ``(median, kind, samples)`` — the kind of the
+    newest historic record when no sample matches, so callers can render
+    "metric changed" vs "new".
+    """
+    values: list[float] = []
+    last_kind = "none"
+    for run in history:
+        record = run.get(scenario)
+        if record is None:
+            continue
+        value, record_kind = _metric(record)
+        if value is None:
+            continue
+        last_kind = record_kind
+        if record_kind == kind:
+            values.append(value)
+    if values:
+        return statistics.median(values), kind, len(values)
+    return None, last_kind, 0
+
+
 def compare(
     current: dict[str, dict],
-    previous: dict[str, dict],
+    previous: dict[str, dict] | Sequence[dict[str, dict]],
     threshold: float = DEFAULT_THRESHOLD,
 ) -> tuple[list[str], list[str]]:
     """Build the summary lines and the regression warnings.
 
-    Returns ``(markdown_lines, warning_messages)``.  The markdown renders
-    a per-scenario delta table; a warning fires when a scenario got more
-    than ``threshold`` slower (or, for events/s metrics, slower-throughput)
-    than the previous run.
+    ``previous`` is the history window — a sequence of per-run record
+    dicts, newest or oldest first (the median does not care) — or a single
+    dict for the legacy one-run comparison.  Returns ``(markdown_lines,
+    warning_messages)``; a warning fires when a scenario is more than
+    ``threshold`` slower than the median of the window.
     """
+    history: list[dict[str, dict]]
+    if isinstance(previous, dict):
+        history = [previous] if previous else []
+    else:
+        history = [run for run in previous if run]
+    window = len(history)
+    seen_previously = set().union(*history) if history else set()
     lines = [
-        "## Perf trend (TIMINGS artifacts, commit-over-commit)",
+        "## Perf trend (TIMINGS artifacts, vs median of last "
+        f"{window} run{'s' if window != 1 else ''})",
         "",
-        "| scenario | previous | current | delta | status |",
+        "| scenario | previous (median) | current | delta | status |",
         "| --- | --- | --- | --- | --- |",
     ]
     warnings: list[str] = []
-    for scenario in sorted(set(current) | set(previous)):
+    for scenario in sorted(set(current) | seen_previously):
         cur_value, cur_kind = _metric(current[scenario]) if scenario in current else (None, "none")
-        prev_value, prev_kind = (
-            _metric(previous[scenario]) if scenario in previous else (None, "none")
-        )
-        if cur_value is None and prev_value is None:
+        prev_value, prev_kind, samples = _history_metric(history, scenario, cur_kind)
+        if cur_value is None and prev_value is None and scenario not in seen_previously:
             continue
-        if prev_value is None:
+        if scenario not in seen_previously:
             lines.append(
                 f"| {scenario} | - | {_format_value(cur_value, cur_kind)} | - | new |"
             )
             continue
         if cur_value is None:
+            # Retired: render the median in the metric the history used.
+            prev_value, prev_kind, _ = _history_metric(history, scenario, prev_kind)
             lines.append(
                 f"| {scenario} | {_format_value(prev_value, prev_kind)} | - | - | retired |"
             )
             continue
-        if cur_kind != prev_kind:
+        if prev_value is None:
+            # Present in history but never with the current metric kind.
             lines.append(
-                f"| {scenario} | {_format_value(prev_value, prev_kind)} "
+                f"| {scenario} | - "
                 f"| {_format_value(cur_value, cur_kind)} | - | metric changed |"
             )
             continue
@@ -163,9 +208,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", type=pathlib.Path, required=True,
                         help="directory with this run's TIMINGS_*.json")
-    parser.add_argument("--previous", type=pathlib.Path, default=None,
-                        help="directory with the previous run's TIMINGS_*.json "
-                        "(omit on the first run: the table lists current only)")
+    parser.add_argument("--previous", type=pathlib.Path, action="append",
+                        default=[], metavar="DIR",
+                        help="directory with one previous run's TIMINGS_*.json; "
+                        "repeat once per run — the baseline is the median "
+                        "across all given runs (omit on the first run: the "
+                        "table lists current only)")
     parser.add_argument("--summary", type=pathlib.Path, default=None,
                         help="file to append the markdown table to "
                         "(pass \"$GITHUB_STEP_SUMMARY\" in CI)")
@@ -178,14 +226,15 @@ def main(argv=None) -> int:
     if not current:
         print(f"perf-trend: no TIMINGS_*.json under {args.current}", file=sys.stderr)
         return 1
-    previous = load_timings_dir(args.previous) if args.previous else {}
+    history = [load_timings_dir(directory) for directory in args.previous]
+    history = [run for run in history if run]
 
-    lines, warnings = compare(current, previous, threshold=args.threshold)
+    lines, warnings = compare(current, history, threshold=args.threshold)
     emit(lines, args.summary)
     for warning in warnings:
         # GitHub annotation syntax; visible on the run page and the PR.
         print(f"::warning title=perf regression::{warning}")
-    if not previous:
+    if not history:
         print("perf-trend: no previous timings; baseline recorded.", file=sys.stderr)
     return 0
 

@@ -40,6 +40,12 @@ class ExperimentParams:
     cyclon: CyclonConfig = field(default_factory=CyclonConfig)
     scamp: ScampConfig = field(default_factory=ScampConfig)
     latency_seconds: float = 0.01
+    #: Engine timestamp quantisation (seconds); ``None`` keeps exact float
+    #: bucketing.  Set by scenarios whose latency is continuous (WAN-jitter
+    #: fault plans) so deliveries share buckets instead of degenerating to
+    #: one event per bucket.  Off by default: artifacts are pinned with
+    #: exact timestamps.
+    engine_tick: Optional[float] = None
     max_events_per_drain: Optional[int] = 50_000_000
 
     def __post_init__(self) -> None:
@@ -53,6 +59,8 @@ class ExperimentParams:
             )
         if self.latency_seconds < 0:
             raise ConfigurationError(f"latency must be >= 0: {self.latency_seconds}")
+        if self.engine_tick is not None and self.engine_tick <= 0:
+            raise ConfigurationError(f"engine tick must be positive: {self.engine_tick}")
 
     @classmethod
     def paper(cls, n: int = 10_000, seed: int = 42) -> "ExperimentParams":

@@ -1310,3 +1310,12 @@ register(
         **_cell_hooks(_plumtree_cells, _run_plumtree_cell, _merge_plumtree),
     )
 )
+
+
+# ----------------------------------------------------------------------
+# Fault-injection scenario family (repro.faults) — registered on import
+# so the CLI, the orchestrator and CI pick the ``faults_*`` scenarios up
+# from REGISTRY like any other experiment.  Imported last: the module
+# registers through the machinery defined above.
+# ----------------------------------------------------------------------
+from ..faults import scenarios as _fault_scenarios  # noqa: E402,F401  (registration side effect)

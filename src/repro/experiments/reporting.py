@@ -192,6 +192,36 @@ def format_timings(
     )
 
 
+def format_phases(
+    phases: Sequence[Mapping[str, object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render per-fault-phase aggregates (the ``faults_*`` scenarios).
+
+    Each row is one named window of a fault-plan timeline with its message
+    count and reliability aggregates, as produced by
+    :func:`repro.faults.measure.measure_fault_plan`.
+    """
+    rows = []
+    for phase in phases:
+        rows.append(
+            [
+                phase["phase"],
+                f"{phase['start']:g}..{phase['end']:g}s",
+                phase["messages"],
+                "-" if phase["average"] is None else f"{phase['average']:.4f}",
+                "-" if phase["min"] is None else f"{phase['min']:.4f}",
+                "-" if phase["atomic"] is None else f"{phase['atomic']:.4f}",
+            ]
+        )
+    return format_table(
+        ["phase", "window", "msgs", "avg reliability", "min", "atomic"],
+        rows,
+        title=title,
+    )
+
+
 def format_percent(value: float) -> str:
     """Render a [0, 1] ratio as a one-decimal percentage string."""
     return f"{100.0 * value:.1f}%"

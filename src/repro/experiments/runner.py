@@ -85,6 +85,34 @@ def _worker_snapshots() -> SnapshotCache:
     return _WORKER_SNAPSHOTS
 
 
+_EMPTY_CACHE_STATS = {
+    "entries": 0, "hits": 0, "misses": 0, "evictions": 0, "cached_bytes": 0,
+}
+
+
+def _cache_stats() -> dict:
+    """This process's snapshot-cache counters (zeros when never used)."""
+    if _WORKER_SNAPSHOTS is None:
+        return dict(_EMPTY_CACHE_STATS)
+    return _WORKER_SNAPSHOTS.stats()
+
+
+def _cache_delta(before: dict, after: dict) -> dict:
+    """Counter growth across one chunk, plus the cache's current size.
+
+    Counters are deltas (summable across chunks and workers without double
+    counting); ``entries`` / ``cached_bytes`` are the absolute cache size
+    after the chunk, aggregated as a per-worker peak.
+    """
+    return {
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+        "evictions": after["evictions"] - before["evictions"],
+        "entries": after["entries"],
+        "cached_bytes": after["cached_bytes"],
+    }
+
+
 @dataclass(frozen=True, slots=True)
 class WorkUnit:
     """One schedulable atom: a whole replicate, or one cell of it.
@@ -219,9 +247,16 @@ def build_chunks(units: Sequence[WorkUnit], workers: int) -> list[list[WorkUnit]
     return chunks
 
 
-def _execute_chunk(chunk: list[WorkUnit]) -> list[UnitOutcome]:
-    """Worker entry point for one affinity chunk (units run in order)."""
-    return [_execute_unit(unit) for unit in chunk]
+def _execute_chunk(chunk: list[WorkUnit]) -> tuple[list[UnitOutcome], dict]:
+    """Worker entry point for one affinity chunk (units run in order).
+
+    Returns the outcomes plus the chunk's snapshot-cache stats delta, so
+    the orchestrator can surface cache behaviour (hits/misses/bytes) in
+    the stderr timing summary without the cache leaving its worker.
+    """
+    before = _cache_stats()
+    outcomes = [_execute_unit(unit) for unit in chunk]
+    return outcomes, _cache_delta(before, _cache_stats())
 
 
 def _execute_unit(unit: WorkUnit) -> UnitOutcome:
@@ -314,6 +349,10 @@ class SweepTimings:
     scenario_events: dict[str, int] = field(default_factory=dict)
     #: scenario id -> per-unit records, in completion order.
     unit_records: dict[str, list[dict]] = field(default_factory=dict)
+    #: snapshot-cache behaviour summed over chunks: hit/miss/eviction
+    #: counters plus per-worker peak entries/bytes (logs only, never in
+    #: BENCH artifacts).
+    snapshot_cache: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     def record(self, outcome: UnitOutcome) -> None:
@@ -335,6 +374,26 @@ class SweepTimings:
                     outcome.events / outcome.elapsed if outcome.elapsed > 0 else None
                 ),
             }
+        )
+
+    def record_cache(self, delta: dict) -> None:
+        cache = self.snapshot_cache
+        for key in ("hits", "misses", "evictions"):
+            cache[key] = cache.get(key, 0) + delta[key]
+        for key in ("entries", "cached_bytes"):
+            cache[key] = max(cache.get(key, 0), delta[key])
+
+    def format_cache(self) -> str:
+        """One stderr line summarising snapshot-cache behaviour."""
+        cache = self.snapshot_cache
+        if not cache:
+            return "snapshot cache: (unused)"
+        return (
+            f"snapshot cache: {cache.get('hits', 0)} hits, "
+            f"{cache.get('misses', 0)} misses, "
+            f"{cache.get('evictions', 0)} evictions; peak "
+            f"{cache.get('entries', 0)} entries / "
+            f"{cache.get('cached_bytes', 0):,} bytes per worker"
         )
 
     def timings_artifact(self, scenario_id: str, *, tier: str, workers: int) -> dict:
@@ -452,15 +511,20 @@ def run_scenarios(
             progress(f"{unit.describe()} done in {outcome.elapsed:.2f}s")
 
     if workers == 1 or len(units) == 1:
+        cache_before = _cache_stats()
         for unit in units:
             note(_execute_unit(unit))
+        if timings is not None:
+            timings.record_cache(_cache_delta(cache_before, _cache_stats()))
     else:
         context = multiprocessing.get_context(_start_method())
         chunks = build_chunks(units, workers)
         with context.Pool(processes=min(workers, len(chunks))) as pool:
-            for outcomes in pool.imap_unordered(_execute_chunk, chunks):
+            for outcomes, cache_delta in pool.imap_unordered(_execute_chunk, chunks):
                 for outcome in outcomes:
                     note(outcome)
+                if timings is not None:
+                    timings.record_cache(cache_delta)
     if timings is not None:
         timings.wall_seconds += time.perf_counter() - started
 
@@ -587,6 +651,7 @@ def run_and_report(
         ),
         file=stream,
     )
+    print(timings.format_cache(), file=stream)
     if out_dir is not None:
         for path in write_artifacts(runs, out_dir):
             print(f"  wrote {path}", file=stream)

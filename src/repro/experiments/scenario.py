@@ -57,7 +57,7 @@ class Scenario:
         self.protocol = protocol
         self.params = params if params is not None else ExperimentParams()
         self.seeds = SeedSequence(self.params.seed)
-        self.engine = Engine()
+        self.engine = Engine(tick=self.params.engine_tick)
         self.network = Network(
             self.engine,
             latency=ConstantLatency(self.params.latency_seconds),
@@ -189,12 +189,21 @@ class Scenario:
         self.fail_nodes([node_id])
         self.drain()
 
-    def revive_node(self, node_id: NodeId, contact: Optional[NodeId] = None) -> None:
+    def revive_node(
+        self,
+        node_id: NodeId,
+        contact: Optional[NodeId] = None,
+        *,
+        drain: bool = True,
+    ) -> None:
         """Restart a crashed node as a fresh process and re-join it.
 
         The old protocol state is discarded (a restarted process has none);
         a new stack is wired and joined through ``contact`` (default: a
-        random live node), exactly like the initial joins.
+        random live node), exactly like the initial joins.  ``drain=False``
+        leaves the join traffic queued — fault-plan callbacks use it for
+        *concurrent* mass rejoins (flash crowds), and because they run
+        inside the engine loop a nested drain would be re-entrant.
         """
         if self.network.is_alive(node_id):
             raise SimulationError(f"node is not dead: {node_id}")
@@ -208,7 +217,8 @@ class Scenario:
         self.network.recover(node_id)
         self._build_stack(node)
         self.membership(node_id).join(contact)
-        self.drain()
+        if drain:
+            self.drain()
         self.population = frozenset(self.alive_ids())
 
     # ------------------------------------------------------------------

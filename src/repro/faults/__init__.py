@@ -1,0 +1,42 @@
+"""Fault injection: declarative fault plans for sim and live runtime.
+
+One vocabulary (:mod:`repro.faults.plan`), two substrates:
+
+* :class:`~repro.faults.sim.SimFaultDriver` compiles a plan onto the
+  discrete-event simulator;
+* :class:`~repro.faults.chaos.ChaosController` (imported explicitly —
+  it pulls in asyncio runtime machinery) replays the same plan against a
+  loopback-TCP :class:`~repro.runtime.cluster.LocalCluster`.
+
+The ``faults_*`` registry scenarios live in
+:mod:`repro.faults.scenarios` and are registered when the experiment
+registry is imported.
+"""
+
+from .measure import measure_fault_plan
+from .plan import (
+    AdversaryEvent,
+    CrashEvent,
+    DegradeEvent,
+    FaultEvent,
+    FaultPlan,
+    PartitionEvent,
+    Phase,
+    RestartEvent,
+    validate_phases,
+)
+from .sim import SimFaultDriver
+
+__all__ = [
+    "AdversaryEvent",
+    "CrashEvent",
+    "DegradeEvent",
+    "FaultEvent",
+    "FaultPlan",
+    "PartitionEvent",
+    "Phase",
+    "RestartEvent",
+    "SimFaultDriver",
+    "measure_fault_plan",
+    "validate_phases",
+]

@@ -1,0 +1,224 @@
+"""Replay a :class:`~repro.faults.plan.FaultPlan` against a live cluster.
+
+The :class:`ChaosController` is the runtime twin of
+:class:`~repro.faults.sim.SimFaultDriver`: the same declarative plan, but
+applied over wall-clock time to a loopback-TCP
+:class:`~repro.runtime.cluster.LocalCluster` —
+
+* partitions install outbound fault injectors on every node's transport
+  ("fail" across the cut: sends report failure exactly like a TCP reset,
+  probes refuse, so the failure detector and repair path run for real);
+* degradation windows drop/delay frames probabilistically (lossy, jittery
+  links);
+* crashes call :meth:`RuntimeNode.crash` (abrupt socket resets);
+* restarts spawn fresh processes that re-join through live contacts;
+* adversaries set :attr:`RuntimeNode.drop_message_types`.
+
+``time_scale`` maps plan seconds to wall seconds (sim plans are written
+against a 10 ms network delay; loopback TCP is faster, so live runs
+usually stretch the timeline, e.g. ``time_scale=2.0``).  The controller
+is for integration tests and the ``repro chaos`` demo — it makes no
+determinism promises (real sockets, real clocks), only vocabulary parity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Optional
+
+from ..common.errors import ConfigurationError
+from ..common.ids import NodeId
+from ..runtime.cluster import LocalCluster
+from .plan import (
+    AdversaryEvent,
+    CrashEvent,
+    DegradeEvent,
+    FaultEvent,
+    FaultPlan,
+    PartitionEvent,
+    RestartEvent,
+    pick_count,
+    split_weighted,
+)
+
+
+class _DegradeWindow:
+    """One active live degradation (wall-clock bounded)."""
+
+    __slots__ = ("until", "event")
+
+    def __init__(self, until: float, event: DegradeEvent) -> None:
+        self.until = until
+        self.event = event
+
+
+class ChaosController:
+    """Drives one fault plan against one :class:`LocalCluster`."""
+
+    def __init__(
+        self,
+        cluster: LocalCluster,
+        plan: FaultPlan,
+        *,
+        time_scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError(f"time_scale must be positive: {time_scale}")
+        self.cluster = cluster
+        self.plan = plan
+        self.time_scale = time_scale
+        self._rng = random.Random(seed)
+        #: (plan time, description) per applied effect, in order.
+        self.applied: list[tuple[float, str]] = []
+        self._partition: Optional[dict[NodeId, int]] = None
+        self._degradations: list[_DegradeWindow] = []
+        #: id(event) -> the RuntimeNodes that event corrupted, so going
+        #: honest only reverts that event's victims (concurrent adversary
+        #: windows stay independent, matching the sim driver).
+        self._adversary_victims: dict[int, list] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Apply the whole plan; returns when the last effect has fired.
+
+        Injectors are installed up front on every node (and on every node
+        the controller restarts), so the verdict function sees partitions
+        and degradation windows as they come and go.
+        """
+        self._loop = asyncio.get_running_loop()
+        for node in self.cluster.alive_nodes():
+            self._install(node)
+        start = self._loop.time()
+        for at, apply in self._timeline():
+            delay = start + at * self.time_scale - self._loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await apply()
+
+    def _timeline(self):
+        """The plan expanded to (plan-time, coroutine factory) steps,
+        including the implicit heal / go-honest follow-ups."""
+        steps: list[tuple[float, int, object]] = []
+        for order, event in enumerate(self.plan.events):
+            steps.append((event.at, order, (self._apply, event)))
+            if isinstance(event, PartitionEvent) and event.heal_at is not None:
+                steps.append((event.heal_at, order, (self._heal, event)))
+            if isinstance(event, AdversaryEvent) and event.until is not None:
+                steps.append((event.until, order, (self._honest, event)))
+        steps.sort(key=lambda step: (step[0], step[1]))
+        for at, _order, (method, event) in steps:
+            yield at, (lambda method=method, event=event: method(event))
+
+    # ------------------------------------------------------------------
+    # Verdicts (transport fault injectors)
+    # ------------------------------------------------------------------
+    def _install(self, node) -> None:
+        local = node.node_id
+        node.transport.fault_injector = (
+            lambda dst, message, local=local: self._verdict(local, dst)
+        )
+
+    def _verdict(self, src: NodeId, dst: NodeId) -> object:
+        partition = self._partition
+        if partition is not None and partition.get(src, -1) != partition.get(dst, -1):
+            return "fail"
+        if self._degradations:
+            now = self._loop.time() if self._loop is not None else 0.0
+            self._degradations = [w for w in self._degradations if now < w.until]
+            delay = 0.0
+            for window in self._degradations:
+                event = window.event
+                if event.loss_rate and self._rng.random() < event.loss_rate:
+                    return "drop"
+                if event.jitter[1] > 0.0:
+                    delay += self._rng.uniform(*event.jitter) * self.time_scale
+            if delay > 0.0:
+                return delay
+        return None
+
+    def _note(self, at: float, description: str) -> None:
+        self.applied.append((at, description))
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    async def _apply(self, event: FaultEvent) -> None:
+        if isinstance(event, PartitionEvent):
+            alive = self.cluster.alive_nodes()
+            members = [node.node_id for node in alive]
+            self._rng.shuffle(members)
+            mapping: dict[NodeId, int] = {}
+            for index, group in enumerate(split_weighted(members, event.weights)):
+                for node_id in group:
+                    mapping[node_id] = index
+            self._partition = mapping
+            self._note(event.at, event.describe())
+        elif isinstance(event, DegradeEvent):
+            until = (
+                self._loop.time()
+                + (event.until - event.at) * self.time_scale
+            )
+            self._degradations.append(_DegradeWindow(until, event))
+            self._note(event.at, event.describe())
+        elif isinstance(event, CrashEvent):
+            alive = self.cluster.alive_nodes()
+            count = self._amount(event.fraction, event.count, len(alive))
+            count = min(count, max(0, len(alive) - 2))  # keep a quorum alive
+            victims = self._rng.sample(alive, count) if count else []
+            for node in victims:
+                await node.crash()
+            self._note(event.at, f"{event.describe()} -> {len(victims)} crashed")
+        elif isinstance(event, RestartEvent):
+            dead = [
+                index
+                for index, node in enumerate(self.cluster.nodes)
+                if not node.started
+            ]
+            count = self._amount(event.fraction, event.count, len(dead))
+            victims = self._rng.sample(dead, count) if count else []
+            for index in victims:
+                node = await self.cluster.restart_node(index)
+                self._install(node)
+            self._note(event.at, f"{event.describe()} -> {len(victims)} restarted")
+        elif isinstance(event, AdversaryEvent):
+            alive = self.cluster.alive_nodes()
+            count = self._amount(event.fraction, event.count, len(alive))
+            victims = self._rng.sample(alive, count) if count else []
+            for node in victims:
+                node.drop_message_types |= set(event.drop_types)
+            self._adversary_victims[id(event)] = victims
+            self._note(event.at, f"{event.describe()} -> {len(victims)} adversarial")
+        else:  # pragma: no cover - vocabulary guard
+            raise ConfigurationError(f"unknown fault event: {event!r}")
+
+    async def _heal(self, event: PartitionEvent) -> None:
+        self._partition = None
+        self._note(event.heal_at, f"heal@{event.heal_at:g}")
+        if event.rejoin:
+            alive = self.cluster.alive_nodes()
+            movers = self._rng.sample(alive, min(event.rejoin, len(alive)))
+            for node in movers:
+                contacts = [peer for peer in alive if peer is not node]
+                if contacts:
+                    node.join(self._rng.choice(contacts).node_id)
+            self._note(event.heal_at, f"rejoin {len(movers)}@{event.heal_at:g}")
+
+    async def _honest(self, event: AdversaryEvent) -> None:
+        # Only this event's victims revert; nodes corrupted by another,
+        # still-open adversary window keep that window's drop set.
+        victims = self._adversary_victims.pop(id(event), [])
+        drops = set(event.drop_types)
+        for node in victims:
+            if node.started:
+                node.drop_message_types -= drops
+        self._note(event.until, f"adversary cleared@{event.until:g}")
+
+    @staticmethod
+    def _amount(fraction: Optional[float], count: Optional[int], population: int) -> int:
+        return pick_count(fraction, count, population)
+
+
+__all__ = ["ChaosController"]

@@ -1,0 +1,373 @@
+"""Declarative fault plans: one timeline, two execution substrates.
+
+A :class:`FaultPlan` is an ordered set of fault *events* on a relative
+timeline (seconds from plan start).  The same plan runs against both
+deployment substrates:
+
+* the discrete-event simulator — :class:`~repro.faults.sim.SimFaultDriver`
+  compiles events onto the :class:`~repro.sim.engine.Engine` /
+  :class:`~repro.sim.network.Network`;
+* the asyncio TCP runtime — :class:`~repro.faults.chaos.ChaosController`
+  replays the same events against a
+  :class:`~repro.runtime.cluster.LocalCluster` over loopback sockets.
+
+Events name *populations* (fractions, counts, group weights), never
+concrete node identities: victim selection happens at apply time from a
+seeded RNG owned by the driver, so a plan is portable across system sizes
+and substrates while staying fully deterministic for a given seed.
+
+The vocabulary:
+
+========================  ====================================================
+:class:`PartitionEvent`   split the network into weighted groups, optionally
+                          healing later and re-joining a few nodes across the
+                          former cut (operator-assisted remerge)
+:class:`DegradeEvent`     per-link degradation window: loss, extra latency
+                          (WAN jitter), duplication, on a stable link subset
+:class:`CrashEvent`       crash a fraction/count of the live population
+:class:`RestartEvent`     restart a fraction/count of the dead population as
+                          fresh processes that re-join (``fraction=1.0`` at a
+                          single instant is a flash crowd)
+:class:`AdversaryEvent`   turn a fraction of live nodes into misbehaving
+                          peers that silently ignore selected message types
+                          (e.g. SHUFFLE / FORWARDJOIN), optionally recovering
+========================  ====================================================
+
+An **empty plan is a strict no-op**: drivers install nothing, draw no
+randomness, and leave every artifact byte-identical to an unfaulted run —
+asserted by the fault-injection test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..common.errors import ConfigurationError
+
+
+def _check_at(at: float) -> None:
+    if at < 0:
+        raise ConfigurationError(f"fault event time must be >= 0: {at}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """Base class: one fault on the plan's relative timeline."""
+
+    #: seconds from plan start at which the fault applies.
+    at: float
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+
+    @property
+    def end(self) -> float:
+        """When the event's effect is over (equals ``at`` for instants)."""
+        return self.at
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}@{self.at:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionEvent(FaultEvent):
+    """Split the network into groups proportional to ``weights``.
+
+    ``heal_at`` (absolute plan time) removes the cut; ``rejoin`` nodes then
+    re-issue JOINs through random live contacts — the operator-assisted
+    remerge real deployments perform after a partition, without which two
+    healed HyParView components never find each other again.
+    """
+
+    weights: tuple[float, ...] = (0.5, 0.5)
+    heal_at: Optional[float] = None
+    rejoin: int = 0
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if len(self.weights) < 2 or any(w <= 0 for w in self.weights):
+            raise ConfigurationError(
+                f"partition needs >= 2 positive group weights: {self.weights}"
+            )
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ConfigurationError(
+                f"heal_at must follow the partition: {self.heal_at} <= {self.at}"
+            )
+        if self.rejoin < 0:
+            raise ConfigurationError(f"rejoin must be >= 0: {self.rejoin}")
+        if self.rejoin and self.heal_at is None:
+            raise ConfigurationError("rejoin requires heal_at")
+
+    @property
+    def end(self) -> float:
+        return self.heal_at if self.heal_at is not None else self.at
+
+    def describe(self) -> str:
+        healed = f" heal@{self.heal_at:g}" if self.heal_at is not None else ""
+        return f"partition{list(self.weights)}@{self.at:g}{healed}"
+
+
+@dataclass(frozen=True, slots=True)
+class DegradeEvent(FaultEvent):
+    """Degrade matching links from ``at`` until ``until``.
+
+    Field semantics match :class:`~repro.sim.network.LinkFaultRule`: loss
+    drops datagrams and delays reliable sends by ``retransmit_delay`` (TCP
+    masks loss as latency), ``jitter=(low, high)`` adds uniform extra
+    latency, ``duplicate_rate`` re-posts datagram copies, and
+    ``link_fraction`` picks a stable subset of directed links.
+    """
+
+    until: float = 0.0
+    loss_rate: float = 0.0
+    jitter: tuple[float, float] = (0.0, 0.0)
+    duplicate_rate: float = 0.0
+    retransmit_delay: float = 0.05
+    link_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.until <= self.at:
+            raise ConfigurationError(
+                f"degradation window must be non-empty: until {self.until} "
+                f"<= at {self.at}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.until
+
+    def describe(self) -> str:
+        parts = []
+        if self.loss_rate:
+            parts.append(f"loss={self.loss_rate:g}")
+        if self.jitter[1]:
+            parts.append(f"jitter={self.jitter[0]:g}..{self.jitter[1]:g}")
+        if self.duplicate_rate:
+            parts.append(f"dup={self.duplicate_rate:g}")
+        if self.link_fraction < 1.0:
+            parts.append(f"links={self.link_fraction:g}")
+        return f"degrade[{','.join(parts)}]@{self.at:g}..{self.until:g}"
+
+
+def _check_population(fraction: Optional[float], count: Optional[int]) -> None:
+    if (fraction is None) == (count is None):
+        raise ConfigurationError("specify exactly one of fraction / count")
+    if fraction is not None and not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1]: {fraction}")
+    if count is not None and count < 1:
+        raise ConfigurationError(f"count must be >= 1: {count}")
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent(FaultEvent):
+    """Crash a random ``fraction`` (of live nodes) or fixed ``count``."""
+
+    fraction: Optional[float] = None
+    count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_population(self.fraction, self.count)
+
+    def describe(self) -> str:
+        amount = f"{self.fraction:.0%}" if self.fraction is not None else str(self.count)
+        return f"crash {amount}@{self.at:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class RestartEvent(FaultEvent):
+    """Restart a random ``fraction`` (of dead nodes) or fixed ``count``.
+
+    Restarted nodes come back as fresh processes and re-join through random
+    live contacts.  All restarts of one event are issued at the same
+    instant without draining between them — ``fraction=1.0`` is a flash
+    crowd of concurrent joins.
+    """
+
+    fraction: Optional[float] = None
+    count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_population(self.fraction, self.count)
+
+    def describe(self) -> str:
+        amount = f"{self.fraction:.0%}" if self.fraction is not None else str(self.count)
+        return f"restart {amount}@{self.at:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class AdversaryEvent(FaultEvent):
+    """Turn live nodes into silent droppers of selected message types.
+
+    The selected nodes stay alive and reachable but ignore every incoming
+    message whose type name is in ``drop_types`` — by default the HyParView
+    repair vocabulary (SHUFFLE and FORWARDJOIN traffic), the misbehaving
+    peer the failure detector cannot see.  ``until`` restores honesty.
+    """
+
+    fraction: Optional[float] = None
+    count: Optional[int] = None
+    drop_types: tuple[str, ...] = ("Shuffle", "ShuffleReply", "ForwardJoin")
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_population(self.fraction, self.count)
+        if not self.drop_types:
+            raise ConfigurationError("adversary needs at least one message type")
+        if self.until is not None and self.until <= self.at:
+            raise ConfigurationError(
+                f"adversary window must be non-empty: until {self.until} "
+                f"<= at {self.at}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.until if self.until is not None else self.at
+
+    def describe(self) -> str:
+        amount = f"{self.fraction:.0%}" if self.fraction is not None else str(self.count)
+        return f"adversary {amount} drop{list(self.drop_types)}@{self.at:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An immutable, ordered timeline of fault events.
+
+    ``events`` are sorted by ``at`` (ties keep construction order, which
+    both drivers preserve).  ``horizon`` is the end of the last effect —
+    measurement drivers keep the message stream running at least that long.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    #: label mixed into victim-selection seeding so two plans in one run
+    #: draw independent choices.
+    label: str = "faults"
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda event: event.at))
+        object.__setattr__(self, "events", ordered)
+
+    @property
+    def horizon(self) -> float:
+        return max((event.end for event in self.events), default=0.0)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def describe(self) -> list[str]:
+        """One human/JSON-friendly line per event, in timeline order."""
+        return [event.describe() for event in self.events]
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty() -> "FaultPlan":
+        return FaultPlan()
+
+    @staticmethod
+    def churn_trace(
+        trace: Iterable[tuple[float, str, int]], *, label: str = "churn-trace"
+    ) -> "FaultPlan":
+        """A plan replaying ``(at, action, count)`` churn records.
+
+        ``action`` is ``"crash"`` or ``"restart"``; the trace is the
+        portable artifact (derivable from logs of a real deployment), the
+        concrete victims are chosen at apply time from the driver's seed.
+        """
+        events: list[FaultEvent] = []
+        for at, action, count in trace:
+            if action == "crash":
+                events.append(CrashEvent(at=at, count=count))
+            elif action == "restart":
+                events.append(RestartEvent(at=at, count=count))
+            else:
+                raise ConfigurationError(
+                    f"unknown churn-trace action {action!r} "
+                    f"(expected 'crash' or 'restart')"
+                )
+        return FaultPlan(events=tuple(events), label=label)
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """A named window of the plan timeline, for per-phase metrics."""
+
+    name: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"phase {self.name!r} must be non-empty: "
+                f"[{self.start}, {self.end}]"
+            )
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+def pick_count(fraction: Optional[float], count: Optional[int], population: int) -> int:
+    """How many victims an event selects from ``population`` members.
+
+    The single rounding rule both substrates share: drivers must never
+    re-implement this, or sim and live would pick different victim counts
+    for the same plan.
+    """
+    if fraction is not None:
+        count = int(round(fraction * population))
+    return min(count or 0, population)
+
+
+def split_weighted(members: Sequence, weights: Sequence[float]) -> list[list]:
+    """Split ``members`` (already shuffled by the caller) into groups
+    proportional to ``weights``; the last group takes the remainder.
+
+    Shared by :class:`~repro.faults.sim.SimFaultDriver` and
+    :class:`~repro.faults.chaos.ChaosController` so a partition plan cuts
+    both substrates identically (up to each driver's own shuffle).
+    """
+    total = sum(weights)
+    groups: list[list] = []
+    offset = 0
+    for index, weight in enumerate(weights):
+        if index == len(weights) - 1:
+            groups.append(list(members[offset:]))
+        else:
+            size = int(round(len(members) * weight / total))
+            groups.append(list(members[offset:offset + size]))
+            offset += size
+    return groups
+
+
+def validate_phases(phases: Sequence[Phase]) -> tuple[Phase, ...]:
+    """Phases sorted by start; overlaps are rejected (metrics would double
+    count messages)."""
+    ordered = tuple(sorted(phases, key=lambda phase: phase.start))
+    for previous, current in zip(ordered, ordered[1:]):
+        if current.start < previous.end:
+            raise ConfigurationError(
+                f"phases overlap: {previous.name!r} ends at {previous.end}, "
+                f"{current.name!r} starts at {current.start}"
+            )
+    return ordered
+
+
+__all__ = [
+    "AdversaryEvent",
+    "CrashEvent",
+    "DegradeEvent",
+    "FaultEvent",
+    "FaultPlan",
+    "PartitionEvent",
+    "Phase",
+    "RestartEvent",
+    "pick_count",
+    "split_weighted",
+    "validate_phases",
+]

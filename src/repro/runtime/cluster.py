@@ -30,6 +30,11 @@ class LocalCluster:
     ) -> None:
         if size < 2:
             raise ConfigurationError(f"cluster needs at least 2 nodes: {size}")
+        self._config = config
+        self._broadcast = broadcast
+        self._plumtree_config = plumtree_config
+        self._base_seed = base_seed
+        self._spawned = size
         self.nodes = [
             RuntimeNode(
                 config=config,
@@ -54,6 +59,44 @@ class LocalCluster:
     async def stop(self) -> None:
         for node in self.nodes:
             await node.stop()
+
+    # ------------------------------------------------------------------
+    # Chaos operations (ChaosController drives these)
+    # ------------------------------------------------------------------
+    def alive_nodes(self) -> list[RuntimeNode]:
+        return [node for node in self.nodes if node.started]
+
+    async def crash_node(self, index: int) -> RuntimeNode:
+        """Abruptly kill one node (sockets reset, nobody is told)."""
+        node = self.nodes[index]
+        await node.crash()
+        return node
+
+    async def restart_node(self, index: int, contact=None) -> RuntimeNode:
+        """Replace a crashed node with a fresh process that re-joins.
+
+        The replacement binds a fresh port and gets a fresh seed: a
+        restarted process shares nothing with its predecessor but the
+        slot in ``self.nodes``.
+        """
+        old = self.nodes[index]
+        if old.started:
+            raise ConfigurationError(f"node {index} is still running")
+        self._spawned += 1
+        node = RuntimeNode(
+            config=self._config,
+            broadcast=self._broadcast,
+            plumtree_config=self._plumtree_config,
+            seed=self._base_seed + self._spawned,
+        )
+        await node.start()
+        self.nodes[index] = node
+        if contact is None:
+            alive = [peer for peer in self.alive_nodes() if peer is not node]
+            contact = alive[0].node_id if alive else None
+        if contact is not None:
+            node.join(contact)
+        return node
 
     async def broadcast_and_settle(
         self, origin_index: int = 0, payload: Any = None, settle: float = 0.5

@@ -60,6 +60,11 @@ class RuntimeNode:
         self._tracker = tracker
         self.delivered: list[tuple[MessageId, Any]] = []
         self.unhandled = 0
+        #: Chaos hook: incoming messages whose type name is listed here are
+        #: silently ignored (the misbehaving-peer model — the node stays
+        #: connected and ACKs frames, it just never acts on them).
+        self.drop_message_types: set[str] = set()
+        self.adversary_drops = 0
         self._handlers: dict[type, Callable[[Message], None]] = {}
         self._started = False
         # Set in start():
@@ -135,6 +140,10 @@ class RuntimeNode:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._started
+
     def join(self, contact: NodeId) -> None:
         self._require_started()
         self.membership.join(contact)
@@ -160,6 +169,9 @@ class RuntimeNode:
     # Internals
     # ------------------------------------------------------------------
     def _dispatch(self, peer: NodeId, message: Message) -> None:
+        if self.drop_message_types and type(message).__name__ in self.drop_message_types:
+            self.adversary_drops += 1
+            return
         handler = self._handlers.get(type(message))
         if handler is None:
             self.unhandled += 1

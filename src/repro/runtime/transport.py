@@ -31,6 +31,15 @@ from ..common.messages import Message, decode_message, encode_message
 #: Handler invoked with (peer, message) for every decoded incoming frame.
 IncomingHandler = Callable[[NodeId, Message], None]
 
+#: Outbound fault injector (chaos testing): called with ``(dst, message)``
+#: before every send, and with ``(dst, None)`` before every probe (a probe
+#: carries no frame — injectors must tolerate the ``None``).  Verdicts:
+#: ``None`` passes the frame through, ``"drop"`` discards it silently
+#: (lossy link), ``"fail"`` discards it and reports a send failure to the
+#: caller (partition / TCP reset; the only verdict a probe honours), and
+#: a positive float delays the frame by that many seconds (jitter).
+FaultInjector = Callable[[NodeId, Optional[Message]], object]
+
 
 class _Connection:
     """One pooled TCP connection with its reader task."""
@@ -68,6 +77,9 @@ class AsyncioTransport(Transport):
         self._closing = False
         self.frames_sent = 0
         self.frames_received = 0
+        #: Chaos hook (see :data:`FaultInjector`); ``None`` = no faults.
+        self.fault_injector: Optional[FaultInjector] = None
+        self.frames_faulted = 0
 
     # ------------------------------------------------------------------
     # Transport interface
@@ -85,9 +97,34 @@ class AsyncioTransport(Transport):
         # Encode here, synchronously: an unencodable message is a caller
         # bug and must surface in the caller, not in a detached task.
         frame = (json.dumps(encode_message(message)) + "\n").encode("utf-8")
+        injector = self.fault_injector
+        if injector is not None:
+            verdict = injector(dst, message)
+            if verdict == "drop":
+                self.frames_faulted += 1
+                return
+            if verdict == "fail":
+                self.frames_faulted += 1
+                if on_failure is not None and not self._closing:
+                    self._loop.call_soon(on_failure, dst, message)
+                return
+            if isinstance(verdict, (int, float)) and verdict > 0:
+                self.frames_faulted += 1
+                self._spawn(
+                    self._delayed_send(float(verdict), dst, frame, message, on_failure)
+                )
+                return
         self._spawn(self._send_async(dst, frame, message, on_failure))
 
     def probe(self, dst: NodeId, on_result: ProbeCallback) -> None:
+        injector = self.fault_injector
+        if injector is not None and injector(dst, None) == "fail":
+            # Partitioned peers are unreachable even when a pooled
+            # connection still exists underneath.
+            self.frames_faulted += 1
+            if not self._closing:
+                self._loop.call_soon(on_result, dst, False)
+            return
         self._spawn(self._probe_async(dst, on_result))
 
     def watch(self, dst: NodeId, on_down: Callable[[NodeId], None]) -> None:
@@ -141,6 +178,17 @@ class AsyncioTransport(Transport):
         except (OSError, asyncio.TimeoutError, ConnectionError):
             if on_failure is not None and not self._closing:
                 on_failure(dst, message)
+
+    async def _delayed_send(
+        self,
+        delay: float,
+        dst: NodeId,
+        frame: bytes,
+        message: Message,
+        on_failure: Optional[FailureCallback],
+    ) -> None:
+        await asyncio.sleep(delay)
+        await self._send_async(dst, frame, message, on_failure)
 
     async def _probe_async(self, dst: NodeId, on_result: ProbeCallback) -> None:
         try:

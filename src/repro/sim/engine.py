@@ -47,6 +47,7 @@ outstanding-event count.
 
 from __future__ import annotations
 
+import math
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
@@ -122,8 +123,19 @@ class Engine:
     which makes runs fully deterministic given deterministic callbacks.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *, tick: Optional[float] = None) -> None:
+        if tick is not None and tick <= 0:
+            raise SimulationError(f"tick must be positive: {tick}")
         self._now = start_time
+        # Quantised-tick mode (off by default): event timestamps are rounded
+        # *up* to a multiple of ``tick`` so latency models with continuous
+        # jitter (UniformLatency, WAN fault rules) share buckets instead of
+        # degenerating to one event per bucket.  Within a quantised bucket
+        # events fire stable-sorted by their raw timestamps (``_raws`` holds
+        # one raw time per entry, parallel to the bucket pairs), preserving
+        # the global (time, insertion) order up to the tick resolution.
+        self._tick = tick
+        self._raws: dict[float, list[float]] = {}
         # timestamp -> flat FIFO bucket [cb, args, cb, args, ...]; timer
         # entries use the (_HANDLE, EventHandle) slot pair instead.
         self._buckets: dict[float, list] = {}
@@ -148,6 +160,11 @@ class Engine:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def tick(self) -> Optional[float]:
+        """Quantisation step for event timestamps, or ``None`` (exact)."""
+        return self._tick
 
     @property
     def pending(self) -> int:
@@ -176,8 +193,47 @@ class Engine:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _quantise(self, when: float) -> float:
+        """Round ``when`` *up* to the next tick multiple (never earlier)."""
+        tick = self._tick
+        return math.ceil(when / tick) * tick
+
+    def _append_quantised(self, when: float, first: Any, second: Any) -> None:
+        """Quantised-mode append: pair into the tick bucket, raw time into
+        the parallel ``_raws`` list (the in-bucket sort key)."""
+        q = self._quantise(when)
+        bucket = self._buckets.get(q)
+        if bucket is None:
+            self._buckets[q] = [first, second]
+            self._raws[q] = [when]
+            heappush(self._times, q)
+        else:
+            bucket.append(first)
+            bucket.append(second)
+            self._raws[q].append(when)
+
+    def _take_quantised(self, when: float) -> tuple[list, list[float]]:
+        """Stable-sort one quantised bucket by raw timestamp.
+
+        Returns the re-ordered flat pair list and the matching sorted raw
+        times; both have been removed from the queue structures (the heap
+        entry for ``when`` is the caller's to keep or pop).
+        """
+        bucket = self._buckets.pop(when)
+        raws = self._raws.pop(when)
+        order = sorted(range(len(raws)), key=raws.__getitem__)
+        flat: list = []
+        append = flat.append
+        for index in order:
+            append(bucket[2 * index])
+            append(bucket[2 * index + 1])
+        return flat, [raws[index] for index in order]
+
     def _append(self, when: float, first: Any, second: Any) -> None:
         """Append one two-slot entry to the bucket for ``when``."""
+        if self._tick is not None:
+            self._append_quantised(when, first, second)
+            return
         if when == self._hot_time:
             bucket = self._hot_bucket
             bucket.append(first)
@@ -226,6 +282,10 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         when = self._now + delay
+        if self._tick is not None:
+            self._append_quantised(when, callback, args)
+            self._size += 1
+            return
         # Inlined _append: this is the hottest call in the simulator.
         if when == self._hot_time:
             bucket = self._hot_bucket
@@ -261,24 +321,36 @@ class Engine:
         if not self._cancelled:
             return 0
         buckets = self._buckets
+        quantised = self._tick is not None
         removed = 0
         for when in list(buckets):
             bucket = buckets[when]
+            raws = self._raws.get(when) if quantised else None
             kept: list = []
+            kept_raws: list[float] = []
             append = kept.append
+            index = 0
             it = iter(bucket)
             for first in it:
                 second = next(it)
+                slot = index
+                index += 1
                 if first is _HANDLE and second._cancelled:
                     second._engine = None
                     removed += 1
                 else:
                     append(first)
                     append(second)
+                    if raws is not None:
+                        kept_raws.append(raws[slot])
             if kept:
                 bucket[:] = kept
+                if raws is not None:
+                    raws[:] = kept_raws
             else:
                 del buckets[when]
+                if raws is not None:
+                    del self._raws[when]
         # Rebuild the timestamp index in place: one entry per surviving
         # bucket (drop times whose buckets emptied).
         self._times[:] = buckets
@@ -311,12 +383,59 @@ class Engine:
             heappush(self._times, when)
         else:
             existing[:0] = remainder  # older entries fire first
+        if self._tick is not None:
+            # Re-queued entries fired at ``when``; their pre-sort raw times
+            # are gone, so they keep their position via raw == when (exact
+            # ordering after an aborted drain is moot — the run is failing).
+            raws = self._raws.setdefault(when, [])
+            raws[:0] = [when] * (len(remainder) // 2)
         self._hot_time = None
         self._hot_bucket = None
+
+    def _step_quantised(self) -> bool:
+        """Quantised-mode :meth:`step`: pop the earliest tick bucket,
+        stable-sort it by raw timestamp, fire its first live entry."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            when = times[0]
+            bucket, raws = self._take_quantised(when)
+            index = 0
+            count = len(raws)
+            while index < count:
+                first = bucket[2 * index]
+                second = bucket[2 * index + 1]
+                index += 1
+                if first is _HANDLE:
+                    if second._cancelled:
+                        self._cancelled -= 1
+                        self._size -= 1
+                        continue
+                    second._engine = None
+                self._size -= 1
+                remainder = bucket[2 * index:]
+                if remainder:
+                    buckets[when] = remainder
+                    self._raws[when] = raws[index:]
+                else:
+                    heappop(times)
+                self._now = when
+                self._processed += 1
+                global _fired_total
+                _fired_total += 1
+                if first is _HANDLE:
+                    second._fire()
+                else:
+                    first(*second)
+                return True
+            heappop(times)  # entire bucket was cancelled entries
+        return False
 
     def step(self) -> bool:
         """Fire the earliest event.  Returns ``False`` when the queue is
         empty (time does not advance in that case)."""
+        if self._tick is not None:
+            return self._step_quantised()
         times = self._times
         buckets = self._buckets
         while times:
@@ -381,7 +500,10 @@ class Engine:
         try:
             while times:
                 when = heappop(times)
-                bucket = buckets.pop(when)
+                if self._tick is None:
+                    bucket = buckets.pop(when)
+                else:
+                    bucket, _ = self._take_quantised(when)
                 if when == self._hot_time:
                     self._hot_time = None
                     self._hot_bucket = None
@@ -430,7 +552,10 @@ class Engine:
                 if when > deadline:
                     break
                 heappop(times)
-                bucket = buckets.pop(when)
+                if self._tick is None:
+                    bucket = buckets.pop(when)
+                else:
+                    bucket, _ = self._take_quantised(when)
                 if when == self._hot_time:
                     self._hot_time = None
                     self._hot_bucket = None

@@ -13,14 +13,27 @@ transport assumptions:
   in-flight messages to them are lost, and reliable senders get failure
   notifications — exactly the observable behaviour of a crashed process;
 * **partitions** make reliable sends across the cut fail and datagrams
-  disappear, for split-brain experiments beyond the paper's evaluation.
+  disappear, for split-brain experiments beyond the paper's evaluation;
+* **link fault rules** (:class:`LinkFaultRule`) degrade matching links for
+  a bounded window: extra latency (WAN jitter), loss (dropping datagrams,
+  delaying reliable sends the way TCP retransmission does), duplication —
+  the substrate :mod:`repro.faults` plans compile onto;
+* **adversaries** are registered nodes that silently ignore selected
+  message types (e.g. SHUFFLE / FORWARDJOIN) while behaving normally on
+  the wire — the misbehaving-peer model of the fault-injection subsystem.
+
+All fault hooks are strictly pay-for-what-you-use: with no rules and no
+adversaries installed the send path performs the exact same RNG draws and
+event posts as before they existed, so empty fault plans leave artifacts
+byte-identical.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections import Counter
-from typing import TYPE_CHECKING, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from ..common.errors import SimulationError, UnknownNodeError
 from ..common.ids import NodeId
@@ -47,6 +60,9 @@ class NetworkStats:
         "delivered",
         "dropped_loss",
         "dropped_dead",
+        "dropped_fault",
+        "duplicated_fault",
+        "dropped_adversary",
         "send_failures",
         "probes_ok",
         "probes_failed",
@@ -61,6 +77,9 @@ class NetworkStats:
         self.delivered = 0
         self.dropped_loss = 0
         self.dropped_dead = 0
+        self.dropped_fault = 0
+        self.duplicated_fault = 0
+        self.dropped_adversary = 0
         self.send_failures = 0
         self.probes_ok = 0
         self.probes_failed = 0
@@ -73,11 +92,84 @@ class NetworkStats:
             "delivered": self.delivered,
             "dropped_loss": self.dropped_loss,
             "dropped_dead": self.dropped_dead,
+            "dropped_fault": self.dropped_fault,
+            "duplicated_fault": self.duplicated_fault,
+            "dropped_adversary": self.dropped_adversary,
             "send_failures": self.send_failures,
             "probes_ok": self.probes_ok,
             "probes_failed": self.probes_failed,
             "messages_by_type": dict(self.messages_by_type),
         }
+
+
+class LinkFaultRule:
+    """One active link-degradation rule (see the module docstring).
+
+    ``link_fraction`` selects a stable subset of directed links: membership
+    is a pure hash of ``(selector_seed, src, dst)``, so a degraded link
+    stays degraded for the rule's whole window (correlated loss/jitter, the
+    way a congested WAN path behaves) and the selection is identical across
+    worker processes.  ``extra_latency`` is a ``(low, high)`` uniform jitter
+    range added to every matching transmission.  Loss drops datagrams; for
+    reliable (TCP-modelled) sends it adds ``retransmit_delay`` instead —
+    TCP masks loss as latency.  Duplication applies to datagrams only.
+    """
+
+    __slots__ = (
+        "until",
+        "loss_rate",
+        "extra_latency",
+        "duplicate_rate",
+        "retransmit_delay",
+        "link_fraction",
+        "selector_seed",
+        "_members",
+    )
+
+    def __init__(
+        self,
+        *,
+        until: Optional[float] = None,
+        loss_rate: float = 0.0,
+        extra_latency: tuple[float, float] = (0.0, 0.0),
+        duplicate_rate: float = 0.0,
+        retransmit_delay: float = 0.05,
+        link_fraction: float = 1.0,
+        selector_seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(f"loss_rate must be in [0, 1): {loss_rate}")
+        if not 0.0 <= duplicate_rate <= 1.0:
+            raise SimulationError(f"duplicate_rate must be in [0, 1]: {duplicate_rate}")
+        low, high = extra_latency
+        if low < 0.0 or high < low:
+            raise SimulationError(f"invalid extra latency range: [{low}, {high}]")
+        if not 0.0 < link_fraction <= 1.0:
+            raise SimulationError(f"link_fraction must be in (0, 1]: {link_fraction}")
+        if retransmit_delay < 0.0:
+            raise SimulationError(f"retransmit_delay must be >= 0: {retransmit_delay}")
+        self.until = until
+        self.loss_rate = loss_rate
+        self.extra_latency = (float(low), float(high))
+        self.duplicate_rate = duplicate_rate
+        self.retransmit_delay = retransmit_delay
+        self.link_fraction = link_fraction
+        self.selector_seed = selector_seed
+        self._members: dict[tuple[NodeId, NodeId], bool] = {}
+
+    def applies(self, src: NodeId, dst: NodeId) -> bool:
+        if self.link_fraction >= 1.0:
+            return True
+        key = (src, dst)
+        member = self._members.get(key)
+        if member is None:
+            digest = hashlib.sha256(
+                f"{self.selector_seed}/{src.host}:{src.port}->"
+                f"{dst.host}:{dst.port}".encode()
+            ).digest()
+            member = int.from_bytes(digest[:8], "big") / 2**64 < self.link_fraction
+            self._members[key] = member
+        return member
 
 
 class Network:
@@ -105,6 +197,12 @@ class Network:
         self._nodes: dict[NodeId, "SimNode"] = {}
         self._alive: set[NodeId] = set()
         self._partition: Optional[dict[NodeId, int]] = None
+        # Fault-injection hooks (repro.faults): active link-degradation
+        # rules, receiver-side adversary filters, and the RNG stream the
+        # rules draw from (created lazily so unfaulted runs never touch it).
+        self._link_rules: list[LinkFaultRule] = []
+        self._adversaries: dict[NodeId, frozenset[str]] = {}
+        self._fault_rng: Optional[random.Random] = None
         # watched node -> {watcher -> callback}: the open-TCP-connection
         # registry behind Transport.watch (see module docstring).
         self._watchers: dict[NodeId, dict[NodeId, Callable[[NodeId], None]]] = {}
@@ -173,10 +271,14 @@ class Network:
         The node's protocol state is *not* restored to anything useful — a
         recovered process must rejoin the overlay, exactly as a restarted
         real process would.  The experiment harness performs the rejoin.
+        An adversary registration dies with the old process: the restarted
+        incarnation is honest until a plan corrupts it again (matching the
+        live substrate, where a restart spawns a fresh RuntimeNode).
         """
         if node_id not in self._nodes:
             raise UnknownNodeError(f"unknown node: {node_id}")
         self._alive.add(node_id)
+        self._adversaries.pop(node_id, None)
 
     # ------------------------------------------------------------------
     # Partitions
@@ -196,6 +298,99 @@ class Network:
 
     def clear_partitions(self) -> None:
         self._partition = None
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def add_link_rule(self, rule: LinkFaultRule) -> None:
+        """Activate a link-degradation rule (expires itself via ``until``).
+
+        The first rule creates the dedicated ``network/faults`` RNG stream;
+        the stream is derived by label, so its existence never perturbs any
+        other stream — an empty fault plan changes nothing.
+        """
+        if self._fault_rng is None:
+            self._fault_rng = self.seeds.stream("network/faults")
+        self._link_rules.append(rule)
+
+    def clear_link_rules(self) -> None:
+        self._link_rules.clear()
+
+    @property
+    def link_rules(self) -> Sequence[LinkFaultRule]:
+        return tuple(self._link_rules)
+
+    def set_adversary(self, node_id: NodeId, drop_types: Iterable[str]) -> None:
+        """Make ``node_id`` silently ignore incoming messages whose type
+        name is in ``drop_types`` (empty set restores honest behaviour).
+
+        The node stays alive and reachable — reliable senders still see
+        their sends succeed, which is exactly what makes this failure mode
+        nasty: the failure detector never fires.
+        """
+        if node_id not in self._nodes:
+            raise UnknownNodeError(f"unknown node: {node_id}")
+        drops = frozenset(drop_types)
+        if drops:
+            self._adversaries[node_id] = drops
+        else:
+            self._adversaries.pop(node_id, None)
+
+    def clear_adversaries(self) -> None:
+        self._adversaries.clear()
+
+    @property
+    def adversaries(self) -> dict[NodeId, frozenset[str]]:
+        return dict(self._adversaries)
+
+    def _degrade(
+        self, src: NodeId, dst: NodeId, delay: float, reliable: bool
+    ) -> tuple[float, bool, int]:
+        """Apply active link rules to one transmission.
+
+        Returns ``(delay, dropped, duplicates)``.  Expired rules are pruned
+        lazily.  Only called when at least one rule is installed, so the
+        unfaulted send path never pays for it (and never draws from the
+        fault RNG stream).
+        """
+        now = self.engine.now
+        rng = self._fault_rng
+        dropped = False
+        duplicates = 0
+        expired = False
+        for rule in self._link_rules:
+            if rule.until is not None and now >= rule.until:
+                expired = True
+                continue
+            if not rule.applies(src, dst):
+                continue
+            low, high = rule.extra_latency
+            if high > 0.0:
+                delay += rng.uniform(low, high)
+            if rule.loss_rate > 0.0 and rng.random() < rule.loss_rate:
+                if reliable:
+                    delay += rule.retransmit_delay
+                else:
+                    dropped = True
+            if not reliable and rule.duplicate_rate > 0.0:
+                if rng.random() < rule.duplicate_rate:
+                    duplicates += 1
+        if expired:
+            self._link_rules[:] = [
+                rule
+                for rule in self._link_rules
+                if rule.until is None or now < rule.until
+            ]
+        return delay, dropped, duplicates
+
+    def _adversary_drops(self, dst: NodeId, message: Message) -> bool:
+        drops = self._adversaries.get(dst)
+        if drops is None or type(message).__name__ not in drops:
+            return False
+        self.stats.dropped_adversary += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "drop-adversary", dst, dst, message)
+        return True
 
     def reachable(self, src: NodeId, dst: NodeId) -> bool:
         """True when a message from ``src`` can currently reach ``dst``."""
@@ -231,6 +426,16 @@ class Network:
         if self.trace is not None:
             self.trace.record(self.engine.now, "send", src, dst, message)
         delay = self.latency.delay(src, dst, self._rng)
+        duplicates = 0
+        if self._link_rules:
+            delay, dropped, duplicates = self._degrade(
+                src, dst, delay, on_failure is not None
+            )
+            if dropped:
+                stats.dropped_fault += 1
+                if self.trace is not None:
+                    self.trace.record(self.engine.now, "drop-fault", src, dst, message)
+                return
         if on_failure is not None:
             if self.reachable(src, dst):
                 self._post(delay, self._deliver_reliable, src, dst, message, on_failure)
@@ -250,6 +455,10 @@ class Network:
                 self.trace.record(self.engine.now, "drop-loss", src, dst, message)
             return
         self._post(delay, self._deliver, src, dst, message)
+        for _ in range(duplicates):
+            stats.duplicated_fault += 1
+            extra = delay * (1.0 + self._fault_rng.random())
+            self._post(extra, self._deliver, src, dst, message)
 
     def watch(self, src: NodeId, dst: NodeId, on_down: Callable[[NodeId], None]) -> None:
         """``src`` holds an open connection to ``dst`` (Transport.watch).
@@ -296,6 +505,8 @@ class Network:
             if self.trace is not None:
                 self.trace.record(self.engine.now, "drop-dead", src, dst, message)
             return
+        if self._adversaries and self._adversary_drops(dst, message):
+            return
         self.stats.delivered += 1
         if self.trace is not None:
             self.trace.record(self.engine.now, "deliver", src, dst, message)
@@ -312,6 +523,10 @@ class Network:
             # The peer died while the message was in flight; TCP surfaces
             # this to the sender as a reset.
             self._notify_failure(src, dst, message, on_failure)
+            return
+        if self._adversaries and self._adversary_drops(dst, message):
+            # The adversary accepted the frame over TCP and ignored it:
+            # the sender observes a *successful* send.
             return
         self.stats.delivered += 1
         if self.trace is not None:

@@ -39,8 +39,25 @@ PR2_SMOKE_SHA256 = {
     "table1_graph": "41dea422b92627b92f08873dbc0d51e247f233dc39c0be355e520a9269e9f2aa",
 }
 
+#: sha256 of the fault-injection family's smoke artifacts at root seed 42,
+#: recorded when the ``repro.faults`` subsystem landed (PR 4).  These pin
+#: the fault scenarios' determinism the same way the PR-2 hashes pin the
+#: figure scenarios: any behavioural drift in the fault drivers, the link
+#: rules, the adversary filters or the quantised-tick engine shows up here.
+PR4_FAULT_SMOKE_SHA256 = {
+    "faults_adversary": "2e883a785c5dbf64cf7ffa00d933a26f6c577a5f80954d9259ee5d0d88b81e42",
+    "faults_cascade": "d946b002a039d3afe5ff0815d5627cb13120e4d0dee9756bbcb3652440b723d3",
+    "faults_churn_trace": "1579b16a8966b81e67242929f4d1d770f629fdcd7ba9d52b3fd898a0d8cce9ef",
+    "faults_flash_crowd": "3b2ad453ac8023e2bc16cf00db9d54200a98d176b6e06eace884482bb9847fd6",
+    "faults_partition_heal": "6913316465f5eeae3c46a67224cbdec3d3b8d1d38da11bf7f4792897a0f6382f",
+    "faults_wan_jitter": "9ed2fd49b8ac7f58b80c826d2e278699a3c5db0702cc00dd36da15f2d59ecfea",
+}
+
 #: Scenarios cheap enough to pin on every test run (seconds, not minutes).
 FAST_SUBSET = ("fig1_hyparview_reference", "fig1c_failure50", "ablation_flood_resend")
+
+#: The cheap fault-scenario pins that run in the regular suite.
+FAST_FAULT_SUBSET = ("faults_partition_heal", "faults_wan_jitter")
 
 
 def _hashes(scenario_ids) -> dict[str, str]:
@@ -55,6 +72,17 @@ def test_fast_subset_matches_pr2_artifacts():
     assert _hashes(FAST_SUBSET) == {k: PR2_SMOKE_SHA256[k] for k in FAST_SUBSET}
 
 
+def test_fast_fault_subset_matches_pr4_artifacts():
+    assert _hashes(FAST_FAULT_SUBSET) == {
+        k: PR4_FAULT_SMOKE_SHA256[k] for k in FAST_FAULT_SUBSET
+    }
+
+
 @pytest.mark.slow
 def test_all_fifteen_smoke_artifacts_match_pr2():
     assert _hashes(PR2_SMOKE_SHA256) == PR2_SMOKE_SHA256
+
+
+@pytest.mark.slow
+def test_all_fault_smoke_artifacts_match_pr4():
+    assert _hashes(PR4_FAULT_SMOKE_SHA256) == PR4_FAULT_SMOKE_SHA256

@@ -1,0 +1,350 @@
+"""Fault-plan vocabulary, the sim driver, and the no-op guarantee.
+
+The load-bearing contract: installing an **empty** fault plan (or none)
+leaves a measurement byte-identical — no extra RNG draws, no extra
+events, no behavioural drift.  Fault hooks on the network likewise cost
+nothing until a rule or adversary is installed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.failures import stabilized_scenario
+from repro.experiments.params import ExperimentParams
+from repro.experiments.reporting import encode_artifact, json_safe
+from repro.faults import (
+    AdversaryEvent,
+    CrashEvent,
+    DegradeEvent,
+    FaultPlan,
+    PartitionEvent,
+    Phase,
+    RestartEvent,
+    SimFaultDriver,
+    measure_fault_plan,
+    validate_phases,
+)
+from repro.sim.network import LinkFaultRule
+
+
+def _tiny_base(seed: int = 5, n: int = 24):
+    params = ExperimentParams.scaled(n, seed=seed, stabilization_cycles=3)
+    return stabilized_scenario("hyparview", params)
+
+
+class TestPlanValidation:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(
+            events=(CrashEvent(at=0.5, fraction=0.1), CrashEvent(at=0.1, count=1))
+        )
+        assert [event.at for event in plan.events] == [0.1, 0.5]
+
+    def test_horizon_covers_windows(self):
+        plan = FaultPlan(
+            events=(
+                DegradeEvent(at=0.1, until=0.9, loss_rate=0.1),
+                CrashEvent(at=0.3, count=1),
+            )
+        )
+        assert plan.horizon == 0.9
+
+    def test_empty_plan_is_falsy_with_zero_horizon(self):
+        assert not FaultPlan.empty()
+        assert FaultPlan.empty().horizon == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            CrashEvent(at=-1.0, count=1)
+
+    def test_fraction_and_count_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            CrashEvent(at=0.0, fraction=0.5, count=3)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            RestartEvent(at=0.0)
+
+    def test_partition_validation(self):
+        with pytest.raises(ConfigurationError, match="weights"):
+            PartitionEvent(at=0.0, weights=(1.0,))
+        with pytest.raises(ConfigurationError, match="heal_at"):
+            PartitionEvent(at=0.5, heal_at=0.5)
+        with pytest.raises(ConfigurationError, match="rejoin requires"):
+            PartitionEvent(at=0.0, rejoin=2)
+
+    def test_degrade_window_must_be_nonempty(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            DegradeEvent(at=0.5, until=0.5)
+
+    def test_adversary_needs_types(self):
+        with pytest.raises(ConfigurationError, match="message type"):
+            AdversaryEvent(at=0.0, fraction=0.5, drop_types=())
+
+    def test_churn_trace_constructor(self):
+        plan = FaultPlan.churn_trace(
+            [(0.1, "crash", 2), (0.2, "restart", 2)]
+        )
+        assert isinstance(plan.events[0], CrashEvent)
+        assert isinstance(plan.events[1], RestartEvent)
+        with pytest.raises(ConfigurationError, match="unknown churn-trace"):
+            FaultPlan.churn_trace([(0.1, "explode", 1)])
+
+    def test_describe_is_json_safe(self):
+        plan = FaultPlan(
+            events=(
+                PartitionEvent(at=0.1, heal_at=0.5, rejoin=2),
+                DegradeEvent(at=0.2, until=0.6, loss_rate=0.1, jitter=(0.0, 0.05)),
+                AdversaryEvent(at=0.3, fraction=0.2),
+            )
+        )
+        assert json_safe(plan.describe()) == plan.describe()
+
+    def test_shared_split_and_pick_helpers(self):
+        from repro.faults.plan import pick_count, split_weighted
+
+        groups = split_weighted(list(range(10)), (0.5, 0.5))
+        assert [len(g) for g in groups] == [5, 5]
+        groups = split_weighted(list(range(10)), (0.7, 0.3))
+        assert [len(g) for g in groups] == [7, 3]
+        assert sum(split_weighted(list(range(7)), (1, 1, 1)), []) == list(range(7))
+        assert pick_count(0.5, None, 10) == 5
+        assert pick_count(None, 3, 10) == 3
+        assert pick_count(None, 30, 10) == 10
+        assert pick_count(1.0, None, 0) == 0
+
+    def test_phase_validation(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            Phase("empty", 1.0, 1.0)
+        with pytest.raises(ConfigurationError, match="overlap"):
+            validate_phases([Phase("a", 0.0, 0.5), Phase("b", 0.4, 1.0)])
+        ordered = validate_phases([Phase("b", 0.5, 1.0), Phase("a", 0.0, 0.5)])
+        assert [phase.name for phase in ordered] == ["a", "b"]
+
+
+class TestNoOpGuarantee:
+    """No plan == empty plan, byte for byte."""
+
+    def test_empty_plan_measurement_identical_to_no_driver(self):
+        base = _tiny_base()
+        frozen = base.freeze()
+
+        plain = base.clone()
+        summaries_plain = [
+            s.reliability for s in plain.send_paced_broadcasts(4)
+        ]
+
+        faulted = plain.thaw(frozen)
+        driver = SimFaultDriver(faulted, FaultPlan.empty())
+        driver.install()
+        summaries_faulted = [
+            s.reliability for s in faulted.send_paced_broadcasts(4)
+        ]
+        assert summaries_plain == summaries_faulted
+        assert plain.engine.processed == faulted.engine.processed
+        assert plain.network.stats.snapshot() == faulted.network.stats.snapshot()
+
+    def test_empty_plan_installs_nothing(self):
+        scenario = _tiny_base()
+        pending_before = scenario.engine.live_pending
+        driver = SimFaultDriver(scenario, FaultPlan.empty())
+        driver.install()
+        assert scenario.engine.live_pending == pending_before
+        assert driver._rng is None  # the fault stream is never even created
+
+    def test_measure_with_empty_plan_matches_twice(self):
+        frozen = _tiny_base().freeze()
+        results = []
+        for _ in range(2):
+            scenario = _tiny_base().thaw(frozen)
+            result = measure_fault_plan(
+                scenario, FaultPlan.empty(), messages=3,
+                phases=(Phase("all", 0.0, 1.0),),
+            )
+            results.append(encode_artifact(json_safe(result)))
+        assert results[0] == results[1]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_fuzz_noop_plan_identity_across_seeds(self, seed):
+        """Property form of the no-op guarantee: for any base seed the
+        empty-plan run equals the plain run exactly."""
+        params = ExperimentParams.scaled(16, seed=seed, stabilization_cycles=2)
+        base = stabilized_scenario("hyparview", params)
+        frozen = base.freeze()
+
+        plain = base.thaw(frozen)
+        faulted = base.thaw(frozen)
+        SimFaultDriver(faulted, FaultPlan.empty()).install()
+        assert [s.reliability for s in plain.send_paced_broadcasts(2)] == [
+            s.reliability for s in faulted.send_paced_broadcasts(2)
+        ]
+        assert plain.engine.processed == faulted.engine.processed
+
+
+class TestSimDriver:
+    def test_double_install_rejected(self):
+        scenario = _tiny_base()
+        driver = SimFaultDriver(scenario, FaultPlan.empty())
+        driver.install()
+        with pytest.raises(ConfigurationError, match="already installed"):
+            driver.install()
+
+    def test_crash_event_kills_fraction(self):
+        scenario = _tiny_base()
+        plan = FaultPlan(events=(CrashEvent(at=0.1, fraction=0.5),))
+        SimFaultDriver(scenario, plan).install()
+        scenario.engine.run_until(scenario.engine.now + 0.2)
+        assert len(scenario.alive_ids()) == 12
+
+    def test_crash_never_kills_last_survivor(self):
+        scenario = _tiny_base(n=4)
+        plan = FaultPlan(events=(CrashEvent(at=0.1, fraction=1.0),))
+        SimFaultDriver(scenario, plan).install()
+        scenario.engine.run_until(scenario.engine.now + 0.2)
+        assert len(scenario.alive_ids()) == 1
+
+    def test_restart_revives_and_rejoins(self):
+        scenario = _tiny_base()
+        plan = FaultPlan(
+            events=(
+                CrashEvent(at=0.1, fraction=0.5),
+                RestartEvent(at=0.3, fraction=1.0),
+            )
+        )
+        SimFaultDriver(scenario, plan).install()
+        scenario.engine.run_until(scenario.engine.now + 0.5)
+        scenario.drain()
+        assert len(scenario.alive_ids()) == 24
+        # Rejoined nodes are wired into the overlay again.
+        snapshot = scenario.snapshot()
+        assert snapshot.largest_component_fraction() > 0.9
+
+    def test_partition_and_heal_flow(self):
+        scenario = _tiny_base()
+        plan = FaultPlan(
+            events=(PartitionEvent(at=0.1, heal_at=0.3, rejoin=2),)
+        )
+        driver = SimFaultDriver(scenario, plan)
+        driver.install()
+        engine = scenario.engine
+        engine.run_until(engine.now + 0.2)
+        sample = scenario.alive_ids()
+        cross = [
+            (a, b)
+            for a in sample[:6]
+            for b in sample[:6]
+            if a != b and not scenario.network.reachable(a, b)
+        ]
+        assert cross  # the cut separates at least some sampled pairs
+        engine.run_until(engine.now + 0.3)
+        scenario.drain()
+        assert all(
+            scenario.network.reachable(a, b)
+            for a in sample[:6]
+            for b in sample[:6]
+        )
+        descriptions = [d for _t, d in driver.applied]
+        assert any("heal" in d for d in descriptions)
+        assert any("rejoin 2" in d for d in descriptions)
+
+    def test_crashed_adversary_restarts_honest(self):
+        """A restarted process is fresh: the old incarnation's adversary
+        registration must not survive the revive (parity with the live
+        substrate, where restart spawns a brand-new RuntimeNode)."""
+        scenario = _tiny_base()
+        victim = scenario.alive_ids()[0]
+        scenario.network.set_adversary(victim, ("Shuffle",))
+        scenario.fail_nodes([victim])
+        scenario.revive_node(victim)
+        assert victim not in scenario.network.adversaries
+
+    def test_adversary_applies_and_clears(self):
+        scenario = _tiny_base()
+        plan = FaultPlan(
+            events=(AdversaryEvent(at=0.1, fraction=0.25, until=0.4),)
+        )
+        SimFaultDriver(scenario, plan).install()
+        engine = scenario.engine
+        engine.run_until(engine.now + 0.2)
+        assert len(scenario.network.adversaries) == 6
+        engine.run_until(engine.now + 0.3)
+        assert scenario.network.adversaries == {}
+
+    def test_driver_is_deterministic(self):
+        frozen = _tiny_base().freeze()
+        plan = FaultPlan(
+            events=(
+                CrashEvent(at=0.05, fraction=0.3),
+                PartitionEvent(at=0.15, heal_at=0.35, rejoin=2),
+                RestartEvent(at=0.45, fraction=1.0),
+            )
+        )
+        outcomes = []
+        for _ in range(2):
+            scenario = _tiny_base().thaw(frozen)
+            result = measure_fault_plan(
+                scenario, plan, messages=4,
+                phases=(Phase("all", 0.0, 0.6),),
+            )
+            outcomes.append(encode_artifact(json_safe(result)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestNetworkFaultHooks:
+    def test_link_rule_validation(self):
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="loss_rate"):
+            LinkFaultRule(loss_rate=1.5)
+        with pytest.raises(SimulationError, match="link_fraction"):
+            LinkFaultRule(link_fraction=0.0)
+        with pytest.raises(SimulationError, match="extra latency"):
+            LinkFaultRule(extra_latency=(0.5, 0.1))
+
+    def test_link_fraction_selection_is_stable(self):
+        scenario = _tiny_base()
+        rule = LinkFaultRule(link_fraction=0.5, selector_seed=9)
+        ids = scenario.node_ids
+        first = [rule.applies(ids[0], other) for other in ids[1:]]
+        second = [rule.applies(ids[0], other) for other in ids[1:]]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_loss_rule_drops_datagrams_not_reliable_sends(self):
+        params = ExperimentParams.scaled(16, seed=7, stabilization_cycles=2)
+        scenario = stabilized_scenario("cyclon", params)
+        scenario.network.add_link_rule(LinkFaultRule(loss_rate=0.5))
+        before = scenario.network.stats.snapshot()
+        scenario.send_broadcasts(5)
+        after = scenario.network.stats.snapshot()
+        assert after["dropped_fault"] > before["dropped_fault"]
+
+    def test_expired_rules_prune_themselves(self):
+        scenario = _tiny_base()
+        scenario.network.add_link_rule(
+            LinkFaultRule(until=scenario.engine.now + 0.05, loss_rate=0.3)
+        )
+        assert len(scenario.network.link_rules) == 1
+        scenario.engine.run_until(scenario.engine.now + 0.1)
+        scenario.send_broadcasts(1)  # first post-expiry send prunes
+        assert len(scenario.network.link_rules) == 0
+
+    def test_adversary_drops_selected_types_silently(self):
+        scenario = _tiny_base()
+        victim = scenario.alive_ids()[1]
+        scenario.network.set_adversary(victim, ("GossipData",))
+        scenario.send_broadcasts(2)
+        stats = scenario.network.stats.snapshot()
+        assert stats["dropped_adversary"] > 0
+        # Honesty restored: empty drop set removes the adversary.
+        scenario.network.set_adversary(victim, ())
+        assert scenario.network.adversaries == {}
+
+    def test_duplicate_rule_reposts_datagrams(self):
+        params = ExperimentParams.scaled(16, seed=7, stabilization_cycles=2)
+        scenario = stabilized_scenario("cyclon", params)
+        scenario.network.add_link_rule(LinkFaultRule(duplicate_rate=1.0))
+        scenario.send_broadcasts(2)
+        assert scenario.network.stats.duplicated_fault > 0

@@ -1,0 +1,123 @@
+"""Registry integration of the ``faults_*`` scenario family.
+
+Same contract as the other grid scenarios: cells merge to the monolithic
+run exactly, and artifacts are byte-identical across worker counts, cell
+splitting, and snapshot-cache settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import get_scenario, scenario_ids
+from repro.experiments.reporting import encode_artifact
+from repro.experiments.runner import build_units, run_scenarios
+
+FAULT_IDS = tuple(s for s in scenario_ids() if s.startswith("faults_"))
+TINY = dict(n=32, messages=4)
+
+
+def _artifact_bytes(runs) -> dict[str, str]:
+    return {
+        scenario_id: encode_artifact(run.artifact())
+        for scenario_id, run in runs.items()
+    }
+
+
+class TestFamilyShape:
+    def test_at_least_four_fault_scenarios_registered(self):
+        assert len(FAULT_IDS) >= 4
+        expected = {
+            "faults_partition_heal",
+            "faults_cascade",
+            "faults_wan_jitter",
+            "faults_churn_trace",
+            "faults_flash_crowd",
+            "faults_adversary",
+        }
+        assert expected.issubset(set(FAULT_IDS))
+
+    def test_every_fault_scenario_has_cells_per_protocol(self):
+        for scenario_id in FAULT_IDS:
+            spec = get_scenario(scenario_id)
+            assert spec.supports_cells, scenario_id
+            assert spec.group == "faults"
+            units = build_units([scenario_id], "smoke", **TINY)
+            assert len(units) >= 2, scenario_id  # one cell per protocol
+            assert all(unit.cell is not None for unit in units)
+
+    @pytest.mark.parametrize("scenario_id", sorted(FAULT_IDS))
+    def test_merge_reproduces_monolithic_run(self, scenario_id):
+        spec = get_scenario(scenario_id)
+        units = build_units([scenario_id], "smoke", **TINY)
+        _, context = units[0].resolve()
+        cell_results = {
+            unit.cell: spec.run_cell(unit.resolve()[1], unit.cell) for unit in units
+        }
+        merged = spec.merge_cells(context, cell_results)
+        assert merged == spec.run(context)
+
+    def test_wan_jitter_runs_quantised_engine(self):
+        spec = get_scenario("faults_wan_jitter")
+        assert spec.tier("smoke").extra["engine_tick"] == 0.002
+
+
+class TestFaultDeterminismMatrix:
+    """workers x cells x cache: byte-identical artifacts, like the
+    existing mode-matrix tests for the figure scenarios."""
+
+    def test_partition_and_wan_across_modes(self):
+        ids = ["faults_partition_heal", "faults_wan_jitter"]
+        reference = run_scenarios(ids, "smoke", workers=1, cells=False,
+                                  snapshot_cache=False, **TINY)
+        for workers, cells, cache in [(1, True, True), (3, True, True), (2, True, False)]:
+            candidate = run_scenarios(ids, "smoke", workers=workers, cells=cells,
+                                      snapshot_cache=cache, **TINY)
+            assert _artifact_bytes(candidate) == _artifact_bytes(reference), (
+                workers, cells, cache,
+            )
+
+    def test_churn_and_flash_across_modes(self):
+        ids = ["faults_churn_trace", "faults_flash_crowd"]
+        reference = run_scenarios(ids, "smoke", workers=1, cells=False,
+                                  snapshot_cache=False, **TINY)
+        candidate = run_scenarios(ids, "smoke", workers=2, cells=True,
+                                  snapshot_cache=True, **TINY)
+        assert _artifact_bytes(candidate) == _artifact_bytes(reference)
+
+    def test_replicates_reproducible_and_seed_sensitive(self):
+        first = run_scenarios(["faults_cascade"], "smoke", workers=1, **TINY)
+        again = run_scenarios(["faults_cascade"], "smoke", workers=1, **TINY)
+        assert _artifact_bytes(first) == _artifact_bytes(again)
+        other = run_scenarios(["faults_cascade"], "smoke", workers=1,
+                              root_seed=7, **TINY)
+        assert _artifact_bytes(other) != _artifact_bytes(first)
+
+
+class TestFaultResults:
+    def test_partition_heal_phases_cover_all_messages(self):
+        runs = run_scenarios(["faults_partition_heal"], "smoke", workers=1, **TINY)
+        result = runs["faults_partition_heal"].first_result()
+        for cell in result.values():
+            assert sum(row["messages"] for row in cell["phases"]) == cell["messages"]
+            assert [row["phase"] for row in cell["phases"]] == [
+                "before", "partitioned", "healed",
+            ]
+
+    def test_render_and_check_run_at_tiny_scale(self):
+        runs = run_scenarios(list(FAULT_IDS), "smoke", workers=1, **TINY)
+        for scenario_id, run in runs.items():
+            assert run.render().strip(), scenario_id
+            run.check()
+
+    def test_flash_crowd_restores_population(self):
+        runs = run_scenarios(["faults_flash_crowd"], "smoke", workers=1, **TINY)
+        result = runs["faults_flash_crowd"].first_result()
+        for cell in result.values():
+            assert cell["final"]["alive"] == TINY["n"]
+
+    def test_adversary_drops_repair_traffic(self):
+        runs = run_scenarios(["faults_adversary"], "smoke", workers=1,
+                             n=48, messages=6)
+        result = runs["faults_adversary"].first_result()
+        assert result["hyparview"]["fault_stats"]["dropped_adversary"] > 0

@@ -86,6 +86,83 @@ class TestCompare:
         assert any("| fig2 |" in line for line in lines)
 
 
+class TestMedianWindow:
+    """The baseline is the median of the last k runs, not the single
+    previous run — one noisy hosted-runner sample must not flip status."""
+
+    def test_single_outlier_in_history_does_not_mask_regression(self):
+        # Median of (1.0, 1.0, 9.0) is 1.0: the slow outlier run does not
+        # drag the baseline up, so a genuinely slow current run still warns.
+        history = [
+            {"fig2": _record("fig2", seconds=1.0)},
+            {"fig2": _record("fig2", seconds=9.0)},
+            {"fig2": _record("fig2", seconds=1.0)},
+        ]
+        current = {"fig2": _record("fig2", seconds=2.0)}
+        _, warnings = perf_trend.compare(current, history, threshold=0.30)
+        assert len(warnings) == 1
+
+    def test_single_fast_outlier_does_not_fake_regression(self):
+        # Against the single previous run (0.4s) this would warn; against
+        # the median (1.0s) it is steady state.
+        history = [
+            {"fig2": _record("fig2", seconds=0.4)},
+            {"fig2": _record("fig2", seconds=1.0)},
+            {"fig2": _record("fig2", seconds=1.0)},
+        ]
+        current = {"fig2": _record("fig2", seconds=1.1)}
+        lines, warnings = perf_trend.compare(current, history, threshold=0.30)
+        assert warnings == []
+        assert any("| fig2 |" in line and "| ok |" in line for line in lines)
+
+    def test_window_size_rendered_in_header(self):
+        history = [
+            {"fig2": _record("fig2", seconds=1.0)},
+            {"fig2": _record("fig2", seconds=1.0)},
+        ]
+        current = {"fig2": _record("fig2", seconds=1.0)}
+        lines, _ = perf_trend.compare(current, history, threshold=0.30)
+        assert any("median of last 2 runs" in line for line in lines)
+
+    def test_scenario_missing_from_some_history_runs(self):
+        # The median only aggregates runs that actually measured the
+        # scenario; a sparse history still yields a baseline.
+        history = [
+            {"fig2": _record("fig2", seconds=1.0)},
+            {"other": _record("other", seconds=3.0)},
+            {"fig2": _record("fig2", seconds=2.0)},
+        ]
+        current = {"fig2": _record("fig2", seconds=1.5)}
+        _, warnings = perf_trend.compare(current, history, threshold=0.30)
+        assert warnings == []  # median(1.0, 2.0) = 1.5
+
+    def test_metric_kind_change_restarts_baseline(self):
+        history = [
+            {"kernel": _record("kernel", seconds=2.0)},
+            {"kernel": _record("kernel", seconds=2.0)},
+        ]
+        current = {"kernel": _record("kernel", events_per_second=1_000_000)}
+        lines, warnings = perf_trend.compare(current, history, threshold=0.30)
+        assert warnings == []
+        assert any("| kernel |" in line and "metric changed" in line for line in lines)
+
+    def test_main_accepts_repeated_previous_dirs(self, tmp_path, capsys):
+        current = tmp_path / "cur"
+        _write(current, _record("fig2", seconds=1.0))
+        dirs = []
+        for index, seconds in enumerate((0.9, 1.0, 1.1)):
+            directory = tmp_path / f"prev{index}"
+            _write(directory, _record("fig2", seconds=seconds))
+            dirs.append(directory)
+        argv = ["--current", str(current)]
+        for directory in dirs:
+            argv += ["--previous", str(directory)]
+        assert perf_trend.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "median of last 3 runs" in out
+        assert "::warning" not in out
+
+
 class TestLoadTimingsDir:
     def test_loads_only_timings_schema(self, tmp_path):
         _write(tmp_path, _record("fig2", seconds=1.0))

@@ -1,0 +1,171 @@
+"""Quantised-tick engine mode: bucket sharing with order preservation.
+
+The ROADMAP open item: latency models with continuous jitter degenerate
+the bucket queue to one event per bucket.  With ``tick`` set, timestamps
+round *up* to the next tick multiple and events within a quantised bucket
+fire stable-sorted by their raw timestamps — order preserved up to the
+tick resolution, O(1) appends restored.  Off by default: every pinned
+artifact uses exact timestamps.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestQuantisedScheduling:
+    def test_tick_validation(self):
+        with pytest.raises(SimulationError, match="tick"):
+            Engine(tick=0.0)
+        with pytest.raises(SimulationError, match="tick"):
+            Engine(tick=-0.5)
+        assert Engine(tick=0.01).tick == 0.01
+        assert Engine().tick is None
+
+    def test_jittered_posts_share_buckets(self):
+        engine = Engine(tick=0.01)
+        rng = random.Random(3)
+        for _ in range(500):
+            engine.post(rng.uniform(0.0, 0.1), lambda: None)
+        # Without quantisation these 500 posts open ~500 buckets; with a
+        # 10 ms tick they collapse into at most 11 distinct timestamps.
+        assert len(engine._buckets) <= 11
+
+    def test_events_fire_sorted_by_raw_time_within_bucket(self):
+        engine = Engine(tick=1.0)
+        fired = []
+        for raw in (0.7, 0.2, 0.9, 0.4):
+            engine.post(raw, fired.append, raw)
+        engine.run_until_idle()
+        assert fired == [0.2, 0.4, 0.7, 0.9]
+
+    def test_equal_raw_times_keep_insertion_order(self):
+        engine = Engine(tick=1.0)
+        fired = []
+        for label in "abc":
+            engine.post(0.5, fired.append, label)
+        engine.post(0.2, fired.append, "first")
+        engine.run_until_idle()
+        assert fired == ["first", "a", "b", "c"]
+
+    def test_quantisation_never_fires_early(self):
+        engine = Engine(tick=0.01)
+        seen = []
+        engine.post(0.015, lambda: seen.append(engine.now))
+        engine.run_until_idle()
+        assert seen == [0.02]  # rounded up, not down
+        assert engine.now == 0.02
+
+    def test_timers_and_posts_interleave_by_raw_time(self):
+        engine = Engine(tick=1.0)
+        fired = []
+        engine.schedule(0.6, fired.append, "timer")
+        engine.post(0.3, fired.append, "post")
+        engine.run_until_idle()
+        assert fired == ["post", "timer"]
+
+    def test_cancelled_timer_skipped(self):
+        engine = Engine(tick=1.0)
+        fired = []
+        handle = engine.schedule(0.4, fired.append, "cancelled")
+        engine.schedule(0.6, fired.append, "live")
+        handle.cancel()
+        engine.run_until_idle()
+        assert fired == ["live"]
+        assert engine.live_pending == 0
+
+    def test_step_respects_raw_order(self):
+        engine = Engine(tick=1.0)
+        fired = []
+        engine.post(0.9, fired.append, "late")
+        engine.post(0.1, fired.append, "early")
+        assert engine.step()
+        assert fired == ["early"]
+        assert engine.step()
+        assert fired == ["early", "late"]
+        assert not engine.step()
+
+    def test_step_nested_post_at_same_instant(self):
+        engine = Engine(tick=1.0)
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            engine.post(0.0, fired.append, "nested")
+
+        engine.post(0.5, outer)
+        engine.post(0.6, fired.append, "later")
+        while engine.step():
+            pass
+        assert fired == ["outer", "later", "nested"]
+
+    def test_run_until_deadline_boundary(self):
+        engine = Engine(tick=0.5)
+        fired = []
+        engine.post(0.3, fired.append, "a")  # quantised to 0.5
+        engine.post(0.8, fired.append, "b")  # quantised to 1.0
+        engine.run_until(0.5)
+        assert fired == ["a"]
+        engine.run_until(2.0)
+        assert fired == ["a", "b"]
+
+    def test_compact_preserves_raw_order(self):
+        engine = Engine(tick=1.0)
+        fired = []
+        handles = [engine.schedule(0.1 * i, fired.append, i) for i in range(10)]
+        for handle in handles[::2]:
+            handle.cancel()
+        engine.compact()
+        engine.run_until_idle()
+        assert fired == [1, 3, 5, 7, 9]
+
+    def test_pickle_round_trip_preserves_quantised_queue(self):
+        engine = Engine(tick=1.0)
+        fired: list = []
+        engine.post(0.7, fired.append, "late")
+        engine.post(0.2, fired.append, "early")
+        clone: Engine = pickle.loads(pickle.dumps(engine))
+        assert clone.tick == 1.0
+        # Raw-timestamp side tables survive the round trip, so the clone
+        # still fires both entries (into its own copy of the list) at the
+        # quantised instant.
+        assert clone._raws == engine._raws
+        assert clone.run_until_idle() == 2
+        assert clone.now == 1.0
+        assert fired == []  # the clone's callbacks target its own copy
+
+
+class TestQuantisedEquivalence:
+    """Quantised runs fire the same callbacks as exact runs, in raw-time
+    order, whenever raw timestamps are already tick multiples."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=20), st.booleans()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_tick_aligned_workload_matches_exact_engine(self, operations):
+        exact, quantised = Engine(), Engine(tick=0.5)
+        log_exact: list = []
+        log_quantised: list = []
+        for index, (slot, use_timer) in enumerate(operations):
+            delay = slot * 0.5
+            if use_timer:
+                exact.schedule(delay, log_exact.append, index)
+                quantised.schedule(delay, log_quantised.append, index)
+            else:
+                exact.post(delay, log_exact.append, index)
+                quantised.post(delay, log_quantised.append, index)
+        exact.run_until_idle()
+        quantised.run_until_idle()
+        assert log_exact == log_quantised
