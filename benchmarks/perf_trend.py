@@ -16,10 +16,20 @@ Soft-fail by design: a regression warns (and is visible in the summary
 trend) but never turns the build red.  The exit code is always 0 unless
 the inputs are unusable.
 
+**The committed history file.**  Artifact retention bounds how far back
+``gh api`` can reach, so the baseline window dies with it.  The
+``perf-history`` CI job therefore appends every main-branch run's
+per-scenario medians to ``benchmarks/perf_history.jsonl`` (one
+``repro-perf-history/1`` line per run, committed by a bot with
+``[skip ci]``); when that file is present, ``--history`` makes it the
+baseline window and the artifact fetch becomes the bootstrap fallback.
+
 Usage::
 
     python benchmarks/perf_trend.py --current DIR
-        [--previous DIR]... [--summary FILE] [--threshold 0.30]
+        [--previous DIR]... [--history FILE [--window K]]
+        [--record-history FILE [--sha SHA] [--run-id ID]]
+        [--summary FILE] [--threshold 0.30]
 
 Every directory holds ``TIMINGS_<scenario>.json`` files in the
 ``repro-timings/1`` schema (written by ``repro bench`` and
@@ -39,6 +49,12 @@ from typing import Iterable, Optional, Sequence
 #: A regression is flagged when the metric worsens by more than this
 #: fraction (seconds grow, or kernel events/s shrink).
 DEFAULT_THRESHOLD = 0.30
+
+#: Schema tag of one ``perf_history.jsonl`` line.
+HISTORY_SCHEMA = "repro-perf-history/1"
+
+#: Default number of trailing history entries used as the baseline window.
+DEFAULT_WINDOW = 5
 
 
 def load_timings_dir(directory: pathlib.Path) -> dict[str, dict]:
@@ -113,6 +129,75 @@ def _history_metric(
     if values:
         return statistics.median(values), kind, len(values)
     return None, last_kind, 0
+
+
+def history_record(
+    current: dict[str, dict],
+    *,
+    sha: Optional[str] = None,
+    run_id: Optional[str] = None,
+) -> dict:
+    """One ``perf_history.jsonl`` line: the run's per-scenario metrics."""
+    scenarios = {}
+    for scenario in sorted(current):
+        value, kind = _metric(current[scenario])
+        if value is not None:
+            scenarios[scenario] = {"kind": kind, "value": value}
+    record: dict = {"schema": HISTORY_SCHEMA, "scenarios": scenarios}
+    if sha:
+        record["sha"] = sha
+    if run_id:
+        record["run_id"] = str(run_id)
+    return record
+
+
+def append_history(path: pathlib.Path, record: dict) -> None:
+    """Append one history line (creates the file on first use)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(
+    path: pathlib.Path, window: int = DEFAULT_WINDOW
+) -> list[dict[str, dict]]:
+    """The last ``window`` history entries as per-run record dicts.
+
+    Each entry is converted back into the minimal ``repro-timings``
+    shape :func:`compare` consumes, so the committed history plugs into
+    the same median machinery as downloaded artifact directories.
+    Malformed or foreign lines are skipped with a note on stderr — a
+    half-written line from an interrupted bot commit must not kill
+    trending.  Returns ``[]`` when the file is missing or empty.
+    """
+    if not path.is_file():
+        return []
+    runs: list[dict[str, dict]] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            print(f"perf-trend: skipping {path}:{number}: {error}", file=sys.stderr)
+            continue
+        if not isinstance(data, dict) or data.get("schema") != HISTORY_SCHEMA:
+            print(f"perf-trend: skipping non-history line {path}:{number}", file=sys.stderr)
+            continue
+        run: dict[str, dict] = {}
+        for scenario, metric in data.get("scenarios", {}).items():
+            value = metric.get("value") if isinstance(metric, dict) else None
+            kind = metric.get("kind") if isinstance(metric, dict) else None
+            if not isinstance(value, (int, float)) or value <= 0:
+                continue
+            if kind == "seconds":
+                run[str(scenario)] = {"totals": {"worker_seconds": float(value)}}
+            elif kind == "events/s":
+                run[str(scenario)] = {"totals": {"events_per_second": float(value)}}
+        if run:
+            runs.append(run)
+    return runs[-window:] if window > 0 else runs
 
 
 def compare(
@@ -214,6 +299,23 @@ def main(argv=None) -> int:
                         "repeat once per run — the baseline is the median "
                         "across all given runs (omit on the first run: the "
                         "table lists current only)")
+    parser.add_argument("--history", type=pathlib.Path, default=None,
+                        help="committed perf_history.jsonl; when it holds "
+                        "entries they are the baseline window and any "
+                        "--previous directories are ignored (artifact "
+                        "fetch becomes the bootstrap fallback)")
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        help="trailing history entries to baseline "
+                        f"against (default {DEFAULT_WINDOW})")
+    parser.add_argument("--record-history", type=pathlib.Path, default=None,
+                        metavar="FILE",
+                        help="append this run's per-scenario metrics to "
+                        "FILE as one repro-perf-history/1 JSONL line "
+                        "(the perf-history CI job commits the result)")
+    parser.add_argument("--sha", default=None,
+                        help="commit sha recorded with --record-history")
+    parser.add_argument("--run-id", default=None,
+                        help="workflow run id recorded with --record-history")
     parser.add_argument("--summary", type=pathlib.Path, default=None,
                         help="file to append the markdown table to "
                         "(pass \"$GITHUB_STEP_SUMMARY\" in CI)")
@@ -226,8 +328,25 @@ def main(argv=None) -> int:
     if not current:
         print(f"perf-trend: no TIMINGS_*.json under {args.current}", file=sys.stderr)
         return 1
-    history = [load_timings_dir(directory) for directory in args.previous]
-    history = [run for run in history if run]
+    if args.record_history is not None:
+        append_history(
+            args.record_history,
+            history_record(current, sha=args.sha, run_id=args.run_id),
+        )
+        print(f"perf-trend: appended history line to {args.record_history}",
+              file=sys.stderr)
+    history: list[dict[str, dict]] = []
+    if args.history is not None:
+        history = load_history(args.history, window=args.window)
+        if history:
+            print(
+                f"perf-trend: baseline = last {len(history)} committed "
+                f"history entr{'y' if len(history) == 1 else 'ies'}",
+                file=sys.stderr,
+            )
+    if not history:
+        history = [load_timings_dir(directory) for directory in args.previous]
+        history = [run for run in history if run]
 
     lines, warnings = compare(current, history, threshold=args.threshold)
     emit(lines, args.summary)

@@ -21,11 +21,22 @@ from typing import Optional
 
 from ..common.errors import ConfigurationError
 from ..core.config import HyParViewConfig
+from ..gossip.reliable import ReliableConfig
 from ..protocols.cyclon import CyclonConfig
 from ..protocols.scamp import ScampConfig
 
-#: Protocol names accepted by the scenario builder.
-PROTOCOL_NAMES = ("hyparview", "cyclon", "cyclon-acked", "scamp", "plumtree")
+#: Protocol names accepted by the scenario builder.  The ``*-reliable``
+#: stacks run the ack+retransmit broadcast layer (datagrams + per-copy
+#: acks + cancellable retransmit timers) over the named overlay.
+PROTOCOL_NAMES = (
+    "hyparview",
+    "cyclon",
+    "cyclon-acked",
+    "scamp",
+    "plumtree",
+    "hyparview-reliable",
+    "cyclon-reliable",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +50,7 @@ class ExperimentParams:
     hyparview: HyParViewConfig = field(default_factory=HyParViewConfig)
     cyclon: CyclonConfig = field(default_factory=CyclonConfig)
     scamp: ScampConfig = field(default_factory=ScampConfig)
+    reliable: ReliableConfig = field(default_factory=ReliableConfig)
     latency_seconds: float = 0.01
     #: Engine timestamp quantisation (seconds); ``None`` keeps exact float
     #: bucketing.  Set by scenarios whose latency is continuous (WAN-jitter

@@ -27,6 +27,7 @@ from ..core.protocol import HyParView
 from ..gossip.eager import EagerGossip
 from ..gossip.flood import FloodBroadcast
 from ..gossip.plumtree import Plumtree
+from ..gossip.reliable import ReliableGossip
 from ..gossip.tracker import BroadcastSummary, BroadcastTracker
 from ..metrics.graph import OverlaySnapshot
 from ..protocols.base import PeerSamplingService
@@ -100,6 +101,28 @@ class Scenario:
             membership = Scamp(node.host("membership"), params.scamp)
             broadcast = EagerGossip(
                 node.host("gossip"), membership, self.tracker, fanout=params.fanout, acked=False
+            )
+        elif self.protocol == "hyparview-reliable":
+            # HyParView's flood discipline (fanout 0 = whole active view)
+            # over *unreliable* transport, with per-copy acks and
+            # retransmit timers supplying the reliability and the failure
+            # signal instead of TCP.
+            membership = HyParView(node.host("membership"), params.hyparview)
+            broadcast = ReliableGossip(
+                node.host("gossip"), membership, self.tracker, fanout=0,
+                ack_timeout=params.reliable.ack_timeout,
+                backoff=params.reliable.backoff,
+                max_retries=params.reliable.max_retries,
+            )
+        elif self.protocol == "cyclon-reliable":
+            # CyclonAcked's membership (it reacts to reported failures)
+            # under fanout gossip with acks and retransmissions.
+            membership = CyclonAcked(node.host("membership"), params.cyclon)
+            broadcast = ReliableGossip(
+                node.host("gossip"), membership, self.tracker, fanout=params.fanout,
+                ack_timeout=params.reliable.ack_timeout,
+                backoff=params.reliable.backoff,
+                max_retries=params.reliable.max_retries,
             )
         else:  # pragma: no cover - guarded in __init__
             raise ConfigurationError(f"unknown protocol: {self.protocol}")

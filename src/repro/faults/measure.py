@@ -100,7 +100,19 @@ def measure_fault_plan(
     series = [summary.reliability for _sent_at, summary in records]
     stats = scenario.network.stats
     snapshot = scenario.snapshot()
-    return {
+    # Ack/retransmit counters, summed over the live population — present
+    # only for broadcast layers that expose them (the reliable stacks),
+    # so every pre-existing scenario's artifact stays byte-identical.
+    reliable_totals: Optional[dict] = None
+    for node_id in population:
+        layer_stats = getattr(scenario.broadcast_layer(node_id), "reliability_stats", None)
+        if layer_stats is None:
+            break
+        if reliable_totals is None:
+            reliable_totals = {}
+        for key, value in layer_stats().items():
+            reliable_totals[key] = reliable_totals.get(key, 0) + value
+    result = {
         "protocol": scenario.protocol,
         "n": scenario.params.n,
         "messages": messages,
@@ -124,6 +136,9 @@ def measure_fault_plan(
         },
         "applied": [description for _at, description in driver.applied],
     }
+    if reliable_totals is not None:
+        result["reliable"] = reliable_totals
+    return result
 
 
 __all__ = ["measure_fault_plan"]

@@ -16,6 +16,20 @@ cache like any grid scenario):
 * ``faults_adversary``        — misbehaving peers silently dropping repair
   traffic (FORWARDJOIN / NEIGHBOR / SHUFFLE) while churn forces repairs.
 
+The ``reliable_*`` family runs the same machinery over the ack+retransmit
+broadcast stacks (:mod:`repro.gossip.reliable`) — per-message per-peer
+cancellable retransmit timers, the workload class the engine's timer
+wheel exists for.  Their plans lean on *datagram* loss (which the acked
+layers must repair themselves) rather than the TCP-masking the flood
+enjoys:
+
+* ``reliable_loss``  — a window of correlated per-link datagram loss and
+  duplication; retransmissions carry the stream through it;
+* ``reliable_churn`` — crash/restart bursts mid-stream; ack silence (not
+  TCP resets) is the failure signal that triggers view repair;
+* ``reliable_stress`` — loss window and a crash wave at once, the
+  retry-budget worst case.
+
 Timeline times are seconds of simulated time (network delay is 0.01 s at
 every tier), so plans transfer unchanged to the live runtime via
 :class:`~repro.faults.chaos.ChaosController`.
@@ -103,6 +117,13 @@ def _render_fault(result: dict, n: int, *, title: str) -> str:
             f"final: alive={cell['final']['alive']} "
             f"component={cell['final']['largest_component']:.3f}"
         )
+        reliable = cell.get("reliable")
+        if reliable is not None:
+            blocks.append(
+                f"  ack layer: acks={reliable['acks_received']} "
+                f"retransmissions={reliable['retransmissions']} "
+                f"give-ups={reliable['give_ups']}"
+            )
     return "\n".join(blocks)
 
 
@@ -470,4 +491,189 @@ _register_fault_scenario(
 )
 
 
-__all__ = ["FAULT_PROTOCOLS"]
+# ----------------------------------------------------------------------
+# Reliable-delivery workloads (ack + retransmit stacks; timer-wheel heavy)
+# ----------------------------------------------------------------------
+#: The ack/retransmit stacks the ``reliable_*`` scenarios compare:
+#: HyParView's flood discipline and Cyclon's fanout gossip, both over
+#: datagrams with per-copy acks.
+RELIABLE_PROTOCOLS = ("hyparview-reliable", "cyclon-reliable")
+
+
+def _reliable_loss_factory(ctx: RunContext) -> tuple[FaultPlan, tuple[Phase, ...], float]:
+    degrade_at = float(ctx.option("degrade_at", 0.1))    # type: ignore[arg-type]
+    recover_at = float(ctx.option("recover_at", 0.5))    # type: ignore[arg-type]
+    end = float(ctx.option("end", 0.8))                  # type: ignore[arg-type]
+    plan = FaultPlan(
+        events=(
+            DegradeEvent(
+                at=degrade_at,
+                until=recover_at,
+                loss_rate=float(ctx.option("loss", 0.25)),      # type: ignore[arg-type]
+                # No jitter: continuous latencies would degenerate the
+                # bucket queue, and the point here is the timer wheel —
+                # loss and duplication stress acks, not timestamps.
+                jitter=(0.0, 0.0),
+                duplicate_rate=float(ctx.option("dup", 0.05)),  # type: ignore[arg-type]
+                retransmit_delay=0.03,
+                link_fraction=float(ctx.option("links", 0.5)),  # type: ignore[arg-type]
+            ),
+        ),
+        label="reliable-loss",
+    )
+    phases = (
+        Phase("clean", 0.0, degrade_at),
+        Phase("lossy", degrade_at, recover_at),
+        Phase("recovered", recover_at, end + 1e-6),
+    )
+    return plan, phases, end
+
+
+def _check_reliable_loss(result: dict, n: int) -> None:
+    _sanity(result)
+    for cell in result.values():
+        reliable = cell["reliable"]
+        # The stream was acked at any scale; loss and retransmissions
+        # require traffic *inside* the degradation window (thinned
+        # message counts may put the whole stream outside it).
+        assert reliable["acks_received"] > 0
+        if _phase(cell, "lossy")["messages"]:
+            assert cell["fault_stats"]["dropped_fault"] > 0
+            assert reliable["retransmissions"] > 0
+    if n < SHAPE_CHECK_MIN_N:
+        return
+    hv = result.get("hyparview-reliable")
+    if hv:
+        # Retransmissions carry the flood through the loss window.
+        lossy = _phase(hv, "lossy")
+        assert lossy["average"] is not None and lossy["average"] > 0.9
+
+
+_register_fault_scenario(
+    scenario_id="reliable_loss",
+    title="Reliable gossip — correlated datagram loss",
+    description="A window of per-link datagram loss and duplication on "
+    "half the links; per-copy acks and retransmit timers repair the "
+    "stream the transport no longer does.",
+    factory=_reliable_loss_factory,
+    smoke=TierConfig(n=64, messages=12, stabilization_cycles=15),
+    paper=TierConfig(n=10_000, messages=100, paper_params=True),
+    check=_check_reliable_loss,
+    default_protocols=RELIABLE_PROTOCOLS,
+)
+
+
+def _reliable_churn_factory(ctx: RunContext) -> tuple[FaultPlan, tuple[Phase, ...], float]:
+    bursts = int(ctx.option("bursts", 3))            # type: ignore[arg-type]
+    burst_size = int(ctx.option("burst_size", 4))    # type: ignore[arg-type]
+    period = float(ctx.option("period", 0.2))        # type: ignore[arg-type]
+    end = float(ctx.option("end", 0.9))              # type: ignore[arg-type]
+    trace = []
+    for burst in range(bursts):
+        at = 0.1 + burst * period
+        trace.append((at, "crash", burst_size))
+        trace.append((at + period / 2, "restart", burst_size))
+    plan = FaultPlan.churn_trace(trace, label="reliable-churn")
+    third = end / 3
+    phases = (
+        Phase("early", 0.0, third),
+        Phase("mid", third, 2 * third),
+        Phase("late", 2 * third, end + 1e-6),
+    )
+    return plan, phases, end
+
+
+def _check_reliable_churn(result: dict, n: int) -> None:
+    _sanity(result)
+    for cell in result.values():
+        # Every crashed node restarted, and the ack machinery ran.
+        assert cell["final"]["alive"] == cell["n"]
+        assert cell["reliable"]["acks_received"] > 0
+    if n < SHAPE_CHECK_MIN_N:
+        return
+    hv = result.get("hyparview-reliable")
+    if hv:
+        # Ack silence (give-ups) is the failure detector here; modest
+        # churn must not dent the stream much.
+        assert hv["average"] > 0.85
+        assert hv["final"]["largest_component"] > 0.9
+
+
+_register_fault_scenario(
+    scenario_id="reliable_churn",
+    title="Reliable gossip — churn bursts",
+    description="Crash/restart bursts mid-stream; retransmit give-ups "
+    "(ack silence), not TCP resets, feed the membership repair.",
+    factory=_reliable_churn_factory,
+    smoke=TierConfig(n=64, messages=12, stabilization_cycles=15),
+    paper=TierConfig(n=10_000, messages=100, paper_params=True,
+                     extra={"burst_size": 150}),
+    check=_check_reliable_churn,
+    default_protocols=RELIABLE_PROTOCOLS,
+)
+
+
+def _reliable_stress_factory(ctx: RunContext) -> tuple[FaultPlan, tuple[Phase, ...], float]:
+    degrade_at = float(ctx.option("degrade_at", 0.1))    # type: ignore[arg-type]
+    crash_at = float(ctx.option("crash_at", 0.3))        # type: ignore[arg-type]
+    recover_at = float(ctx.option("recover_at", 0.6))    # type: ignore[arg-type]
+    end = float(ctx.option("end", 0.9))                  # type: ignore[arg-type]
+    plan = FaultPlan(
+        events=(
+            DegradeEvent(
+                at=degrade_at,
+                until=recover_at,
+                loss_rate=float(ctx.option("loss", 0.35)),  # type: ignore[arg-type]
+                jitter=(0.0, 0.0),
+                duplicate_rate=0.05,
+                retransmit_delay=0.03,
+                link_fraction=float(ctx.option("links", 0.6)),  # type: ignore[arg-type]
+            ),
+            CrashEvent(
+                at=crash_at,
+                fraction=float(ctx.option("crash_fraction", 0.2)),  # type: ignore[arg-type]
+            ),
+        ),
+        label="reliable-stress",
+    )
+    phases = (
+        Phase("clean", 0.0, degrade_at),
+        Phase("lossy", degrade_at, crash_at),
+        Phase("lossy+dead", crash_at, recover_at),
+        Phase("aftermath", recover_at, end + 1e-6),
+    )
+    return plan, phases, end
+
+
+def _check_reliable_stress(result: dict, n: int) -> None:
+    _sanity(result)
+    for cell in result.values():
+        reliable = cell["reliable"]
+        if _phase(cell, "lossy")["messages"] or _phase(cell, "lossy+dead")["messages"]:
+            assert reliable["retransmissions"] > 0
+        # The crash wave happened while retries were burning budget.
+        assert cell["final"]["alive"] < cell["n"]
+    if n < SHAPE_CHECK_MIN_N:
+        return
+    hv = result.get("hyparview-reliable")
+    if hv:
+        # Retries plus view repair pull the tail back up after the window.
+        aftermath = _phase(hv, "aftermath")
+        assert aftermath["average"] is not None and aftermath["average"] > 0.7
+
+
+_register_fault_scenario(
+    scenario_id="reliable_stress",
+    title="Reliable gossip — loss window plus crash wave",
+    description="Heavy correlated datagram loss with a crash wave in the "
+    "middle of it: retransmit budgets, give-up failure reports and view "
+    "repair all under fire at once.",
+    factory=_reliable_stress_factory,
+    smoke=TierConfig(n=64, messages=12, stabilization_cycles=15),
+    paper=TierConfig(n=10_000, messages=100, paper_params=True),
+    check=_check_reliable_stress,
+    default_protocols=RELIABLE_PROTOCOLS,
+)
+
+
+__all__ = ["FAULT_PROTOCOLS", "RELIABLE_PROTOCOLS"]

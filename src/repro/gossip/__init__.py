@@ -1,10 +1,19 @@
-"""Broadcast layers: eager gossip, HyParView flood, Plumtree, tracking."""
+"""Broadcast layers: eager gossip, HyParView flood, ack+retransmit
+reliable gossip, Plumtree, tracking."""
 
 from .base import BroadcastLayer
 from .eager import EagerGossip
 from .flood import FloodBroadcast
-from .messages import GossipData, PlumtreeGossip, PlumtreeGraft, PlumtreeIHave, PlumtreePrune
+from .messages import (
+    GossipAck,
+    GossipData,
+    PlumtreeGossip,
+    PlumtreeGraft,
+    PlumtreeIHave,
+    PlumtreePrune,
+)
 from .plumtree import Plumtree, PlumtreeConfig
+from .reliable import ReliableGossip
 from .tracker import BroadcastSummary, BroadcastTracker, DeliveryRecord
 
 __all__ = [
@@ -14,6 +23,7 @@ __all__ = [
     "DeliveryRecord",
     "EagerGossip",
     "FloodBroadcast",
+    "GossipAck",
     "GossipData",
     "Plumtree",
     "PlumtreeConfig",
@@ -21,4 +31,5 @@ __all__ = [
     "PlumtreeGraft",
     "PlumtreeIHave",
     "PlumtreePrune",
+    "ReliableGossip",
 ]

@@ -24,6 +24,20 @@ class GossipData(Message):
     sender: NodeId
 
 
+@register_message("gossip.ack")
+@dataclass(frozen=True, slots=True)
+class GossipAck(Message):
+    """Per-copy acknowledgment of the reliable (ack+retransmit) layer.
+
+    Sent for *every* received copy — duplicates included — because the
+    copy being acknowledged may itself be a retransmission whose earlier
+    ack was lost.
+    """
+
+    message_id: MessageId
+    sender: NodeId
+
+
 @register_message("plumtree.gossip")
 @dataclass(frozen=True, slots=True)
 class PlumtreeGossip(Message):

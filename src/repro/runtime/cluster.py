@@ -72,18 +72,28 @@ class LocalCluster:
         await node.crash()
         return node
 
-    async def restart_node(self, index: int, contact=None) -> RuntimeNode:
+    async def restart_node(
+        self, index: int, contact=None, *, reuse_port: bool = False
+    ) -> RuntimeNode:
         """Replace a crashed node with a fresh process that re-joins.
 
-        The replacement binds a fresh port and gets a fresh seed: a
-        restarted process shares nothing with its predecessor but the
-        slot in ``self.nodes``.
+        By default the replacement binds a fresh port and gets a fresh
+        seed: a restarted process shares nothing with its predecessor but
+        the slot in ``self.nodes``.  With ``reuse_port=True`` the new
+        incarnation binds the *same* address the crashed process held —
+        the stale-identity case, where peers still carrying the old
+        NodeId in their views dial a process that has none of the old
+        protocol state.  (The simulator models this via ``SimNode.reset``;
+        this is the live-runtime equivalent.)
         """
         old = self.nodes[index]
         if old.started:
             raise ConfigurationError(f"node {index} is still running")
+        if reuse_port and old.node_id is None:
+            raise ConfigurationError(f"node {index} never bound a port to reuse")
         self._spawned += 1
         node = RuntimeNode(
+            port=old.node_id.port if reuse_port else 0,
             config=self._config,
             broadcast=self._broadcast,
             plumtree_config=self._plumtree_config,

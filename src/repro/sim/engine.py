@@ -38,16 +38,50 @@ Two scheduling APIs serve two traffic classes:
   and argument tuple.
 
 Cancellation stays O(1) and lazy, and the engine *counts* lazily cancelled
-events and compacts the buckets whenever they outnumber the live ones
+events and compacts the queue whenever they outnumber the live ones
 (beyond a small floor), so a workload that cancels millions of timers —
 e.g. per-message retransmit timers that are almost always acked — never
 drags a dead queue behind it.  :attr:`Engine.live_pending` reports the true
 outstanding-event count.
+
+**The timer wheel.**  Cancellable timers land on scattered timestamps
+(per-message per-peer retransmit deadlines, staggered backoffs), which is
+the bucket queue's worst case: every timer opens its own bucket and pays a
+heap push/pop.  Timers therefore live in a **hierarchical timing wheel**
+instead: four power-of-two levels of 256 slots each, at a resolution of
+2^-10 s per tick, covering 2^32 ticks (~48 simulated days) before handing
+far-future timers to a small overflow heap.  Insertion picks the deepest
+level whose lap contains both the timer and the wheel position — O(1)
+integer arithmetic plus a list append and a bitmap bit.  On the drain
+side the wheel advances lazily: per-level occupancy bitmaps jump straight
+to the next populated slot, higher-level slots **cascade** one level down
+when the position crosses their boundary, and the expiring slot is sorted
+once into the *cursor* — the staging batch the run loops consume.
+
+Merge order between wheel expiries and bucket events is **byte-identical**
+to the single-queue layout, by construction rather than by bookkeeping:
+
+* :meth:`Engine.schedule` appends to the existing bucket when one already
+  holds events for that exact timestamp (so intra-bucket interleavings of
+  posts and timers are preserved verbatim), and only otherwise inserts
+  into the wheel;
+* consequently a wheel entry at time ``t`` can only exist if no bucket for
+  ``t`` existed when it was scheduled — every wheel entry at ``t``
+  *predates* every current bucket entry at ``t`` — so the run loops break
+  timestamp ties in favour of the wheel;
+* inside the wheel, entries carry a monotonic sequence number and every
+  expiry batch is sorted by ``(time, seq)``, which is exactly the global
+  insertion order no matter which level an entry cascaded from.
+
+The quantised-tick mode keeps timers on the bucket path: its in-bucket
+stable sort by raw timestamp already interleaves posts and timers, and
+that ordering is pinned by artifacts.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import insort
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
@@ -57,6 +91,19 @@ from ..common.interfaces import TimerHandle
 #: Compaction never triggers below this many cancelled events: tiny queues
 #: are cheap to carry and rebuilding them would cost more than it saves.
 COMPACTION_FLOOR = 64
+
+#: Timer-wheel geometry: four levels of 2^8 slots, 2^-10 s per tick.
+WHEEL_BITS = 8
+WHEEL_SLOTS = 1 << WHEEL_BITS
+WHEEL_MASK = WHEEL_SLOTS - 1
+WHEEL_LEVELS = 4
+WHEEL_RESOLUTION = 2.0**-10
+_TICKS_PER_SECOND = 1.0 / WHEEL_RESOLUTION
+#: Timestamps past this are clamped to one far tick (ordering inside the
+#: overflow heap is still exact — entries sort by (tick, time, seq), and
+#: the clamp keeps ``int(when * ticks)`` from overflowing on inf).
+_TICK_TIME_CAP = 2.0**52
+_TICK_CAP = 1 << 63
 
 #: Marker stored in a bucket slot in place of a callback to flag that the
 #: following slot holds a cancellable :class:`EventHandle` instead of a
@@ -105,7 +152,12 @@ class EventHandle(TimerHandle):
         engine = self._engine
         if engine is not None:
             self._engine = None
-            engine._note_cancel()
+            # Inlined Engine._note_cancel: cancellation is the hot path of
+            # ack/retransmit protocols (almost every timer is cancelled).
+            cancelled = engine._cancelled + 1
+            engine._cancelled = cancelled
+            if cancelled > engine._compact_watermark and cancelled * 2 > engine._size:
+                engine.compact()
 
     @property
     def cancelled(self) -> bool:
@@ -149,6 +201,25 @@ class Engine:
         self._size = 0
         self._processed = 0
         self._cancelled = 0
+        # --- timer wheel (exact mode only; see the module docstring) ---
+        # Entries are (tick, time, seq, handle) tuples: tick is the wheel
+        # coordinate, (time, seq) the exact global firing order.
+        self._seq = 0
+        self._wheel_slots: list[list[list]] = [
+            [[] for _ in range(WHEEL_SLOTS)] for _ in range(WHEEL_LEVELS)
+        ]
+        self._wheel_bitmaps: list[int] = [0] * WHEEL_LEVELS
+        self._wheel_overflow: list[tuple] = []
+        # The cursor is the sorted expiry batch of the current tick; the
+        # wheel position doubles as its admission bound: inserts at ticks
+        # <= the position bisect straight into the cursor.
+        self._wheel_cursor: list[tuple] = []
+        self._wheel_cursor_pos = 0
+        self._wheel_pos = int(start_time * _TICKS_PER_SECOND)
+        # Entries held by the wheel (cursor tail + slots + overflow),
+        # including lazily-cancelled ones; the run loops skip wheel work
+        # entirely while this is zero.
+        self._wheel_count = 0
         # Auto-compaction threshold.  Raised (exponential backoff) when a
         # compaction cannot reclaim anything — entries of a bucket that is
         # mid-drain have left the queue structures and are unreachable
@@ -251,19 +322,92 @@ class Engine:
         self._hot_bucket = bucket
 
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        """Schedule ``callback(*args)`` at absolute time ``when``.
+
+        Exact mode routes timers through the timer wheel — unless a bucket
+        already holds events for exactly ``when``, in which case the timer
+        joins that bucket so same-instant interleavings of posts and
+        timers fire in verbatim insertion order (the merge-order
+        invariant; see the module docstring).  Quantised mode keeps the
+        bucket path, whose raw-time stable sort already interleaves both.
+        """
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
         handle = EventHandle(when, callback, args, self)
-        self._append(when, _HANDLE, handle)
         self._size += 1
+        if self._tick is not None:
+            self._append_quantised(when, _HANDLE, handle)
+            return handle
+        bucket = self._buckets.get(when)
+        if bucket is not None:
+            bucket.append(_HANDLE)
+            bucket.append(handle)
+            return handle
+        # Inlined wheel insert: this is the hottest call of timer-heavy
+        # (ack/retransmit) protocols, the way `post` is for messages.
+        tick = int(when * _TICKS_PER_SECOND) if when < _TICK_TIME_CAP else _TICK_CAP
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (tick, when, seq, handle)
+        self._wheel_count += 1
+        pos = self._wheel_pos
+        if tick <= pos:
+            # The wheel already advanced to (or past) this tick — a bucket
+            # event running ahead of the wheel scheduled it.  The sequence
+            # number keeps it in exact global order inside the cursor.
+            insort(self._wheel_cursor, entry)
+            return handle
+        # The level is the deepest one whose lap holds both the timer and
+        # the wheel position: the highest differing bit octet of the two
+        # tick coordinates names it in O(1).
+        level = ((tick ^ pos).bit_length() - 1) >> 3
+        if level < WHEEL_LEVELS:
+            slot = (tick >> (level << 3)) & WHEEL_MASK
+            self._wheel_slots[level][slot].append(entry)
+            self._wheel_bitmaps[level] |= 1 << slot
+        else:
+            heappush(self._wheel_overflow, entry)
         return handle
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        when = self._now + delay
+        if self._tick is not None:
+            handle = EventHandle(when, callback, args, self)
+            self._size += 1
+            self._append_quantised(when, _HANDLE, handle)
+            return handle
+        # Inlined schedule_at: one call frame fewer on the timer-heavy
+        # hot path (protocols schedule relative delays via the clock).
+        handle = EventHandle(when, callback, args, self)
+        self._size += 1
+        bucket = self._buckets.get(when)
+        if bucket is not None:
+            bucket.append(_HANDLE)
+            bucket.append(handle)
+            return handle
+        tick = int(when * _TICKS_PER_SECOND) if when < _TICK_TIME_CAP else _TICK_CAP
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (tick, when, seq, handle)
+        self._wheel_count += 1
+        pos = self._wheel_pos
+        if tick <= pos:
+            insort(self._wheel_cursor, entry)
+            return handle
+        # The level is the deepest one whose lap holds both the timer and
+        # the wheel position: the highest differing bit octet of the two
+        # tick coordinates names it in O(1).
+        level = ((tick ^ pos).bit_length() - 1) >> 3
+        if level < WHEEL_LEVELS:
+            slot = (tick >> (level << 3)) & WHEEL_MASK
+            self._wheel_slots[level][slot].append(entry)
+            self._wheel_bitmaps[level] |= 1 << slot
+        else:
+            heappush(self._wheel_overflow, entry)
+        return handle
 
     def post_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
         """Fast path: schedule a *non-cancellable* event at time ``when``.
@@ -302,24 +446,187 @@ class Engine:
         self._size += 1
 
     # ------------------------------------------------------------------
+    # The timer wheel
+    # ------------------------------------------------------------------
+    def _wheel_peek(self) -> Optional[tuple]:
+        """The next wheel entry (possibly a lazily-cancelled one), or
+        ``None`` when the wheel is empty.  Advances the wheel as needed."""
+        cursor = self._wheel_cursor
+        pos = self._wheel_cursor_pos
+        if pos < len(cursor):
+            if pos >= 1024:
+                # Trim the consumed prefix (amortised O(1)).  A lone
+                # far-future timer can pin one cursor batch for a long
+                # stretch of simulated time while every nearer timer
+                # bisects into it; without trimming, the consumed entries
+                # would accumulate for as long as the batch lives.
+                del cursor[:pos]
+                self._wheel_cursor_pos = 0
+                return cursor[0]
+            return cursor[pos]
+        if self._wheel_count and self._wheel_refill():
+            return self._wheel_cursor[self._wheel_cursor_pos]
+        return None
+
+    def _wheel_take(self, level: int, index: int) -> list:
+        """Detach one slot's entry list, clearing its occupancy bit."""
+        slots = self._wheel_slots[level]
+        batch = slots[index]
+        slots[index] = []
+        self._wheel_bitmaps[level] &= ~(1 << index)
+        return batch
+
+    def _wheel_refill(self) -> bool:
+        """Advance the wheel position to the next populated tick and stage
+        that tick's entries as the new (sorted) cursor batch.
+
+        Per-level bitmaps jump straight to the next occupied slot; a
+        populated higher-level slot is cascaded one level down when the
+        position enters its lap.  Lazily-cancelled entries are dropped
+        (and accounted) the first time the advance touches them — an
+        acked retransmit timer costs one cascade visit in total, never a
+        sort or a pop.  Returns ``False`` only when the wheel holds
+        nothing at all.
+        """
+        overflow = self._wheel_overflow
+        bitmaps = self._wheel_bitmaps
+        pos = self._wheel_pos
+        dropped = 0
+        while True:
+            ov_tick = overflow[0][0] if overflow else None
+            # Level 0: one slot == one tick of the current 256-tick window.
+            index = pos & WHEEL_MASK
+            m = bitmaps[0] >> index
+            if m:
+                index += ((m & -m).bit_length() - 1)
+                target = pos - (pos & WHEEL_MASK) + index
+                if ov_tick is None or target <= ov_tick:
+                    batch = []
+                    for entry in self._wheel_take(0, index):
+                        if entry[3]._cancelled:
+                            dropped += 1
+                        else:
+                            batch.append(entry)
+                    while overflow and overflow[0][0] == target:
+                        entry = heappop(overflow)
+                        if entry[3]._cancelled:
+                            dropped += 1
+                        else:
+                            batch.append(entry)
+                    if not batch:
+                        continue  # the tick held only cancelled timers
+                    batch.sort()
+                    self._wheel_cursor = batch
+                    self._wheel_cursor_pos = 0
+                    self._wheel_pos = target
+                    self._wheel_drop(dropped)
+                    return True
+            else:
+                # Level 1..3: find the next populated slot of the current
+                # lap, cascade it down one level, rescan from its start.
+                t8 = pos >> WHEEL_BITS
+                m = bitmaps[1] >> (t8 & WHEEL_MASK)
+                if m:
+                    g1 = t8 + ((m & -m).bit_length() - 1)
+                    start = g1 << WHEEL_BITS
+                    if ov_tick is None or start <= ov_tick:
+                        slots0 = self._wheel_slots[0]
+                        bit0 = 0
+                        for entry in self._wheel_take(1, g1 & WHEEL_MASK):
+                            if entry[3]._cancelled:
+                                dropped += 1
+                                continue
+                            low = entry[0] & WHEEL_MASK
+                            slots0[low].append(entry)
+                            bit0 |= 1 << low
+                        bitmaps[0] |= bit0
+                        pos = start
+                        continue
+                else:
+                    t16 = t8 >> WHEEL_BITS
+                    m = bitmaps[2] >> (t16 & WHEEL_MASK)
+                    if m:
+                        g2 = t16 + ((m & -m).bit_length() - 1)
+                        start = g2 << 16
+                        if ov_tick is None or start <= ov_tick:
+                            slots1 = self._wheel_slots[1]
+                            bit1 = 0
+                            for entry in self._wheel_take(2, g2 & WHEEL_MASK):
+                                if entry[3]._cancelled:
+                                    dropped += 1
+                                    continue
+                                mid = (entry[0] >> WHEEL_BITS) & WHEEL_MASK
+                                slots1[mid].append(entry)
+                                bit1 |= 1 << mid
+                            bitmaps[1] |= bit1
+                            pos = start
+                            continue
+                    else:
+                        t24 = t16 >> WHEEL_BITS
+                        m = bitmaps[3] >> (t24 & WHEEL_MASK)
+                        if m:
+                            g3 = t24 + ((m & -m).bit_length() - 1)
+                            start = g3 << 24
+                            if ov_tick is None or start <= ov_tick:
+                                slots2 = self._wheel_slots[2]
+                                bit2 = 0
+                                for entry in self._wheel_take(3, g3 & WHEEL_MASK):
+                                    if entry[3]._cancelled:
+                                        dropped += 1
+                                        continue
+                                    high = (entry[0] >> 16) & WHEEL_MASK
+                                    slots2[high].append(entry)
+                                    bit2 |= 1 << high
+                                bitmaps[2] |= bit2
+                                pos = start
+                                continue
+            # Nothing in the levels before the overflow's head: drain the
+            # overflow's earliest tick as the next batch (far-future
+            # handoff), re-anchoring the wheel position there.
+            if not overflow:
+                self._wheel_pos = pos
+                self._wheel_drop(dropped)
+                return False
+            batch = []
+            target = overflow[0][0]
+            while overflow and overflow[0][0] == target:
+                entry = heappop(overflow)
+                if entry[3]._cancelled:
+                    dropped += 1
+                else:
+                    batch.append(entry)
+            if not batch:
+                continue  # the overflow tick held only cancelled timers
+            self._wheel_cursor = batch
+            self._wheel_cursor_pos = 0
+            self._wheel_pos = target
+            self._wheel_drop(dropped)
+            return True
+
+    def _wheel_drop(self, dropped: int) -> None:
+        """Account for cancelled entries the wheel advance discarded."""
+        if dropped:
+            self._wheel_count -= dropped
+            self._size -= dropped
+            self._cancelled -= dropped
+
+    # ------------------------------------------------------------------
     # Compaction of lazily-cancelled events
     # ------------------------------------------------------------------
-    def _note_cancel(self) -> None:
-        self._cancelled += 1
-        if self._cancelled > self._compact_watermark and self._cancelled * 2 > self._size:
-            self.compact()
-
     def compact(self) -> int:
         """Physically remove lazily-cancelled events; returns how many.
 
         Buckets and the timestamp heap are rebuilt *in place* (both keep
         their identity) so run loops holding local references observe the
-        compaction.  Entries of a bucket that is being drained right now
-        have already left the queue structures and are skipped (and
-        accounted) by the drain loop itself.
+        compaction.  Entries of a bucket that is being drained right now —
+        and entries of the wheel's current expiry batch (the cursor) —
+        have already left (or are mid-consumption of) the queue
+        structures and are skipped (and accounted) by the drain loops
+        themselves.
         """
         if not self._cancelled:
             return 0
+        removed_wheel = self._wheel_compact()
         buckets = self._buckets
         quantised = self._tick is not None
         removed = 0
@@ -357,12 +664,58 @@ class Engine:
         heapify(self._times)
         self._hot_time = None
         self._hot_bucket = None
+        removed += removed_wheel
         self._size -= removed
         self._cancelled -= removed
-        # Any remainder is pinned in a mid-drain bucket; back off so the
-        # next few cancels do not rescan everything for nothing.  A clean
-        # sweep resets the watermark to the floor.
+        # Any remainder is pinned in a mid-drain bucket or the wheel
+        # cursor; back off so the next few cancels do not rescan
+        # everything for nothing.  A clean sweep resets the watermark to
+        # the floor.
         self._compact_watermark = max(COMPACTION_FLOOR, 2 * self._cancelled)
+        return removed
+
+    def _wheel_compact(self) -> int:
+        """Sweep cancelled timers out of the wheel slots and the overflow
+        (the cursor is the drain loops' to consume); returns how many."""
+        removed = 0
+        for level in range(WHEEL_LEVELS):
+            bitmap = self._wheel_bitmaps[level]
+            if not bitmap:
+                continue
+            slots = self._wheel_slots[level]
+            m = bitmap
+            while m:
+                index = (m & -m).bit_length() - 1
+                m &= m - 1
+                slot = slots[index]
+                kept = []
+                for entry in slot:
+                    handle = entry[3]
+                    if handle._cancelled:
+                        handle._engine = None
+                        removed += 1
+                    else:
+                        kept.append(entry)
+                if kept:
+                    slot[:] = kept
+                else:
+                    del slot[:]
+                    bitmap &= ~(1 << index)
+            self._wheel_bitmaps[level] = bitmap
+        overflow = self._wheel_overflow
+        if overflow:
+            kept = []
+            for entry in overflow:
+                handle = entry[3]
+                if handle._cancelled:
+                    handle._engine = None
+                    removed += 1
+                else:
+                    kept.append(entry)
+            if removed and len(kept) != len(overflow):
+                overflow[:] = kept
+                heapify(overflow)
+        self._wheel_count -= removed
         return removed
 
     # ------------------------------------------------------------------
@@ -436,9 +789,33 @@ class Engine:
         empty (time does not advance in that case)."""
         if self._tick is not None:
             return self._step_quantised()
+        global _fired_total
         times = self._times
         buckets = self._buckets
-        while times:
+        while True:
+            # Wheel timers due no later than the earliest bucket fire
+            # first (ties go to the wheel: its entries predate the
+            # bucket's — the merge-order invariant).
+            if self._wheel_count:
+                while True:
+                    entry = self._wheel_peek()
+                    if entry is None or (times and times[0] < entry[1]):
+                        break
+                    self._wheel_cursor_pos += 1
+                    self._wheel_count -= 1
+                    self._size -= 1
+                    handle = entry[3]
+                    if handle._cancelled:
+                        self._cancelled -= 1
+                        continue
+                    handle._engine = None
+                    self._now = entry[1]
+                    self._processed += 1
+                    _fired_total += 1
+                    handle._fire()
+                    return True
+            if not times:
+                return False
             when = times[0]
             bucket = buckets[when]
             index = 0
@@ -466,20 +843,19 @@ class Engine:
                     self._hot_bucket = None
                 self._now = when
                 self._processed += 1
-                global _fired_total
                 _fired_total += 1
                 if first is _HANDLE:
                     second._fire()
                 else:
                     first(*second)
                 return True
-            # Entire bucket was cancelled entries.
+            # Entire bucket was cancelled entries; re-check the wheel
+            # against whatever bucket is now the earliest.
             del buckets[when]
             heappop(times)
             if when == self._hot_time:
                 self._hot_time = None
                 self._hot_bucket = None
-        return False
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:
         """Drain the queue; returns the number of events fired.
@@ -492,13 +868,38 @@ class Engine:
         # whole bucket at a time and dispatch its entries inline.  Posts
         # from callbacks at the *same* instant open a fresh bucket, which
         # the next iteration of the outer loop picks up — preserving the
-        # global (time, insertion-order) firing order exactly.
+        # global (time, insertion-order) firing order exactly.  Wheel
+        # timers merge in between buckets: every timer due no later than
+        # the earliest bucket fires first (same-instant timers predate
+        # the bucket's entries — the merge-order invariant).
         times = self._times
         buckets = self._buckets
         fired = 0
         cancelled_skipped = 0
         try:
-            while times:
+            while True:
+                if self._wheel_count:
+                    while True:
+                        entry = self._wheel_peek()
+                        if entry is None or (times and times[0] < entry[1]):
+                            break
+                        self._wheel_cursor_pos += 1
+                        self._wheel_count -= 1
+                        handle = entry[3]
+                        if handle._cancelled:
+                            cancelled_skipped += 1
+                            continue
+                        handle._engine = None
+                        self._now = entry[1]
+                        fired += 1
+                        handle._callback(*handle._args)
+                        if max_events is not None and fired > max_events:
+                            raise SimulationError(
+                                f"run_until_idle exceeded {max_events} events — "
+                                f"runaway cascade?"
+                            )
+                if not times:
+                    break
                 when = heappop(times)
                 if self._tick is None:
                     bucket = buckets.pop(when)
@@ -547,7 +948,28 @@ class Engine:
         fired = 0
         cancelled_skipped = 0
         try:
-            while times:
+            while True:
+                if self._wheel_count:
+                    while True:
+                        entry = self._wheel_peek()
+                        if (
+                            entry is None
+                            or entry[1] > deadline
+                            or (times and times[0] < entry[1])
+                        ):
+                            break
+                        self._wheel_cursor_pos += 1
+                        self._wheel_count -= 1
+                        handle = entry[3]
+                        if handle._cancelled:
+                            cancelled_skipped += 1
+                            continue
+                        handle._engine = None
+                        self._now = entry[1]
+                        fired += 1
+                        handle._callback(*handle._args)
+                if not times:
+                    break
                 when = times[0]
                 if when > deadline:
                     break
@@ -600,10 +1022,57 @@ class Engine:
         state = {slot: getattr(self, slot) for slot in self.__dict__}
         state["_hot_time"] = None
         state["_hot_bucket"] = None
+        # The wheel pickles as its canonical content — the sorted live
+        # entries — never as slots/bitmaps/cursor, whose arrangement
+        # depends on how far the wheel advanced.  Lazily-cancelled wheel
+        # entries are unobservable and dropped (with the books adjusted),
+        # so snapshot bytes do not depend on cancellation garbage either.
+        entries = list(self._wheel_cursor[self._wheel_cursor_pos:])
+        for level_slots in self._wheel_slots:
+            for slot in level_slots:
+                entries.extend(slot)
+        entries.extend(self._wheel_overflow)
+        live = sorted(entry for entry in entries if not entry[3]._cancelled)
+        dropped = len(entries) - len(live)
+        for key in (
+            "_wheel_slots", "_wheel_bitmaps", "_wheel_overflow",
+            "_wheel_cursor", "_wheel_cursor_pos", "_wheel_pos",
+            "_wheel_count",
+        ):
+            del state[key]
+        state["_size"] = self._size - dropped
+        state["_cancelled"] = self._cancelled - dropped
+        state["_wheel_entries"] = live
         return state
 
     def __setstate__(self, state: dict) -> None:
+        entries = state.pop("_wheel_entries", [])
         self.__dict__.update(state)
+        pos = int(self._now * _TICKS_PER_SECOND)
+        self._wheel_slots = [
+            [[] for _ in range(WHEEL_SLOTS)] for _ in range(WHEEL_LEVELS)
+        ]
+        self._wheel_bitmaps = [0] * WHEEL_LEVELS
+        self._wheel_overflow = []
+        self._wheel_cursor = []
+        self._wheel_cursor_pos = 0
+        self._wheel_pos = pos
+        self._wheel_count = 0
+        for tick, when, seq, handle in entries:
+            # Re-place each entry relative to the rebuilt position; counts
+            # and the sequence counter travelled in the pickled state.
+            self._wheel_count += 1
+            entry = (tick, when, seq, handle)
+            if tick <= pos:
+                self._wheel_cursor.append(entry)  # `entries` is sorted
+                continue
+            level = ((tick ^ pos).bit_length() - 1) >> 3
+            if level < WHEEL_LEVELS:
+                slot = (tick >> (level << 3)) & WHEEL_MASK
+                self._wheel_slots[level][slot].append(entry)
+                self._wheel_bitmaps[level] |= 1 << slot
+            else:
+                heappush(self._wheel_overflow, entry)
 
 
 class PeriodicTask:

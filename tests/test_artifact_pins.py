@@ -53,11 +53,24 @@ PR4_FAULT_SMOKE_SHA256 = {
     "faults_wan_jitter": "9ed2fd49b8ac7f58b80c826d2e278699a3c5db0702cc00dd36da15f2d59ecfea",
 }
 
+#: sha256 of the reliable-delivery family's smoke artifacts at root seed
+#: 42, recorded when the ack+retransmit stacks and the timer wheel landed
+#: (PR 5).  They pin the reliable gossip layer, the wheel's merge order
+#: against bucket events, and the fault plans the scenarios replay.
+PR5_RELIABLE_SMOKE_SHA256 = {
+    "reliable_churn": "9b58d30e756c0978b5189fc3c5e34e15096bbde2c28c9d2b6b3e3f2fd7227ae7",
+    "reliable_loss": "eb2f139506d7f555d5e5a9dd66037dc13a5f17d563b0fd0fe23b40c16262a5b9",
+    "reliable_stress": "cc90920605729fa6370a9659e413137bb4ba312b19fa8ae04f50757d0fa07ff1",
+}
+
 #: Scenarios cheap enough to pin on every test run (seconds, not minutes).
 FAST_SUBSET = ("fig1_hyparview_reference", "fig1c_failure50", "ablation_flood_resend")
 
 #: The cheap fault-scenario pins that run in the regular suite.
 FAST_FAULT_SUBSET = ("faults_partition_heal", "faults_wan_jitter")
+
+#: The reliable-delivery pin that runs in the regular suite.
+FAST_RELIABLE_SUBSET = ("reliable_loss",)
 
 
 def _hashes(scenario_ids) -> dict[str, str]:
@@ -78,6 +91,12 @@ def test_fast_fault_subset_matches_pr4_artifacts():
     }
 
 
+def test_fast_reliable_subset_matches_pr5_artifacts():
+    assert _hashes(FAST_RELIABLE_SUBSET) == {
+        k: PR5_RELIABLE_SMOKE_SHA256[k] for k in FAST_RELIABLE_SUBSET
+    }
+
+
 @pytest.mark.slow
 def test_all_fifteen_smoke_artifacts_match_pr2():
     assert _hashes(PR2_SMOKE_SHA256) == PR2_SMOKE_SHA256
@@ -86,3 +105,8 @@ def test_all_fifteen_smoke_artifacts_match_pr2():
 @pytest.mark.slow
 def test_all_fault_smoke_artifacts_match_pr4():
     assert _hashes(PR4_FAULT_SMOKE_SHA256) == PR4_FAULT_SMOKE_SHA256
+
+
+@pytest.mark.slow
+def test_all_reliable_smoke_artifacts_match_pr5():
+    assert _hashes(PR5_RELIABLE_SMOKE_SHA256) == PR5_RELIABLE_SMOKE_SHA256

@@ -192,3 +192,111 @@ class TestLoadTimingsDir:
 
     def test_main_requires_current_timings(self, tmp_path):
         assert perf_trend.main(["--current", str(tmp_path / "empty")]) == 1
+
+
+class TestCommittedHistory:
+    """The perf_history.jsonl spine: record lines, reload as the median
+    window, survive junk, and outrank --previous artifact directories."""
+
+    def _history(self, tmp_path, runs):
+        path = tmp_path / "perf_history.jsonl"
+        for current in runs:
+            perf_trend.append_history(path, perf_trend.history_record(current))
+        return path
+
+    def test_record_and_reload_round_trip(self, tmp_path):
+        current = {
+            "fig2": _record("fig2", seconds=2.5),
+            "kernel": _record("kernel", events_per_second=1_500_000.0),
+        }
+        path = self._history(tmp_path, [current])
+        runs = perf_trend.load_history(path)
+        assert len(runs) == 1
+        assert perf_trend._metric(runs[0]["fig2"]) == (2.5, "seconds")
+        assert perf_trend._metric(runs[0]["kernel"]) == (1_500_000.0, "events/s")
+
+    def test_record_carries_sha_and_run_id(self, tmp_path):
+        path = tmp_path / "perf_history.jsonl"
+        record = perf_trend.history_record(
+            {"fig2": _record("fig2", seconds=1.0)}, sha="abc123", run_id=42
+        )
+        perf_trend.append_history(path, record)
+        line = json.loads(path.read_text())
+        assert line["schema"] == perf_trend.HISTORY_SCHEMA
+        assert line["sha"] == "abc123"
+        assert line["run_id"] == "42"
+
+    def test_window_keeps_only_trailing_entries(self, tmp_path):
+        runs = [{"fig2": _record("fig2", seconds=float(i))} for i in range(1, 9)]
+        path = self._history(tmp_path, runs)
+        window = perf_trend.load_history(path, window=3)
+        assert [perf_trend._metric(run["fig2"])[0] for run in window] == [6.0, 7.0, 8.0]
+
+    def test_junk_lines_are_skipped(self, tmp_path, capsys):
+        path = self._history(tmp_path, [{"fig2": _record("fig2", seconds=1.0)}])
+        with path.open("a") as handle:
+            handle.write("{truncated\n")
+            handle.write(json.dumps({"schema": "something-else"}) + "\n")
+            handle.write("\n")
+        runs = perf_trend.load_history(path)
+        assert len(runs) == 1
+        err = capsys.readouterr().err
+        assert "skipping" in err
+
+    def test_missing_file_yields_empty_window(self, tmp_path):
+        assert perf_trend.load_history(tmp_path / "absent.jsonl") == []
+
+    def test_main_prefers_history_over_previous_dirs(self, tmp_path, capsys):
+        current_dir = tmp_path / "cur"
+        _write(current_dir, _record("fig2", seconds=2.0))
+        # The artifact dir says 2.0s (no regression); the committed
+        # history says 1.0s (regression) — history must win.
+        previous = tmp_path / "prev"
+        _write(previous, _record("fig2", seconds=2.0))
+        history = self._history(
+            tmp_path,
+            [{"fig2": _record("fig2", seconds=1.0)} for _ in range(3)],
+        )
+        assert perf_trend.main(
+            [
+                "--current", str(current_dir),
+                "--previous", str(previous),
+                "--history", str(history),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "::warning" in out
+        assert "median of last 3 runs" in out
+
+    def test_main_falls_back_to_previous_when_history_empty(self, tmp_path, capsys):
+        current_dir = tmp_path / "cur"
+        _write(current_dir, _record("fig2", seconds=1.0))
+        previous = tmp_path / "prev"
+        _write(previous, _record("fig2", seconds=1.0))
+        empty = tmp_path / "perf_history.jsonl"
+        empty.write_text("")
+        assert perf_trend.main(
+            [
+                "--current", str(current_dir),
+                "--previous", str(previous),
+                "--history", str(empty),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "median of last 1 run" in out
+
+    def test_main_record_history_appends(self, tmp_path):
+        current_dir = tmp_path / "cur"
+        _write(current_dir, _record("fig2", seconds=1.25))
+        path = tmp_path / "perf_history.jsonl"
+        for _ in range(2):
+            assert perf_trend.main(
+                [
+                    "--current", str(current_dir),
+                    "--record-history", str(path),
+                    "--sha", "deadbeef",
+                ]
+            ) == 0
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all(line["scenarios"]["fig2"]["value"] == 1.25 for line in lines)

@@ -137,6 +137,63 @@ class TestChurnLive:
         run(scenario())
 
 
+class TestSamePortRestart:
+    def test_restart_on_same_port_exercises_stale_identity(self):
+        """A crashed node's replacement binds the *same* address, so
+        peers still holding the old NodeId in their views dial a fresh
+        incarnation with none of the old protocol state — the path the
+        simulator models via SimNode.reset but the live runtime never
+        saw before reuse_port."""
+
+        async def scenario():
+            cluster = LocalCluster(4, config=CONFIG, base_seed=61)
+            await cluster.start()
+            try:
+                victim = cluster.nodes[2]
+                old_id = victim.node_id
+                # Make sure somebody actually holds the victim in a view.
+                assert any(
+                    old_id in node.active_view()
+                    for node in cluster.nodes
+                    if node is not victim
+                )
+                await cluster.crash_node(2)
+                await asyncio.sleep(0.2)
+                reborn = await cluster.restart_node(2, reuse_port=True)
+                # Same identity, fresh process: no delivered history, no
+                # protocol state inherited from the predecessor.
+                assert reborn.node_id == old_id
+                assert reborn is not victim
+                assert reborn.delivered == []
+                # Old peers (stale views) plus the rejoin stitch the new
+                # incarnation back in; a flood must reach all four nodes.
+                assert await cluster.wait_for_views(minimum=1, timeout=8.0)
+                count = 0
+                for _attempt in range(5):
+                    origin = cluster.alive_nodes()[0]
+                    message_id = origin.broadcast("stale-identity")
+                    count = await cluster.wait_for_delivery(
+                        message_id, 4, timeout=4.0
+                    )
+                    if count == 4:
+                        break
+                    await asyncio.sleep(0.5)
+                assert count == 4
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_reuse_port_requires_a_previously_bound_node(self):
+        cluster = LocalCluster(2, config=CONFIG)
+
+        async def scenario():
+            with pytest.raises(ConfigurationError, match="never bound"):
+                await cluster.restart_node(0, reuse_port=True)
+
+        run(scenario())
+
+
 class TestAdversaryAndDegradeLive:
     def test_adversary_nodes_drop_shuffles_then_recover(self):
         async def scenario():

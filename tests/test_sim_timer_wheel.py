@@ -1,0 +1,324 @@
+"""Edge cases of the engine's hierarchical timer wheel.
+
+The generic ordering contract (posts + timers fire in global
+``(time, insertion)`` order, byte-identical to the old mixed-tuple heap)
+lives in ``test_sim_engine.py``; this module drills into the wheel's own
+mechanics: cascades between levels, cancellation *after* an entry has
+cascaded, the far-future overflow handoff, and pickling an engine whose
+wheel is mid-advance (cursor staged, cascades partially done).
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+from itertools import count
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import (
+    WHEEL_BITS,
+    WHEEL_LEVELS,
+    WHEEL_RESOLUTION,
+    Engine,
+)
+
+#: One level-0 lap in seconds (256 ticks).
+LAP0 = (1 << WHEEL_BITS) * WHEEL_RESOLUTION
+
+#: A delay guaranteed past the whole wheel (2^32 ticks) — overflow heap.
+BEYOND_WHEEL = (1 << (WHEEL_BITS * WHEEL_LEVELS)) * WHEEL_RESOLUTION * 1.5
+
+
+class Recorder:
+    """Picklable callback that records its label (lambdas are not)."""
+
+    def __init__(self) -> None:
+        self.fired: list = []
+
+    def __call__(self, label) -> None:
+        self.fired.append(label)
+
+
+def _reference_order(operations) -> list[int]:
+    """(delay, cancel_at_index) ops on a (time, seq) heap — the exact
+    pre-wheel semantics: ``cancel_at_index`` marks which *later* op's
+    position cancels this timer (or None)."""
+    queue: list = []
+    seq = count()
+    fired = []
+    cancelled = set()
+    for index, (delay, cancel_after) in enumerate(operations):
+        heapq.heappush(queue, (delay, next(seq), index))
+        if cancel_after is not None:
+            cancelled.add(index)
+    while queue:
+        _, _, index = heapq.heappop(queue)
+        if index not in cancelled:
+            fired.append(index)
+    return fired
+
+
+class TestCancelAfterCascade:
+    def test_cancel_after_entry_cascaded_to_level_zero(self):
+        """A timer inserted at a high level, cascaded down by the wheel
+        advance, then cancelled, must not fire — and the books balance."""
+        engine = Engine()
+        recorder = Recorder()
+        # Far enough for level >= 1, with near traffic forcing advances.
+        far = engine.schedule(3 * LAP0, recorder, "far")
+        for hop in range(10):
+            engine.schedule(0.9 * LAP0 + hop * 0.01, recorder, hop)
+        # Advance past one lap boundary: the far timer's lap is nearer now.
+        engine.run_until(2 * LAP0)
+        assert recorder.fired == list(range(10))
+        far.cancel()
+        engine.run_until_idle()
+        assert recorder.fired == list(range(10))
+        assert engine.live_pending == 0
+        engine.compact()
+        assert engine.pending == 0
+
+    def test_cancel_inside_staged_cursor_batch(self):
+        """Timers sharing one wheel tick are staged together; an earlier
+        one cancelling a later one mid-batch must suppress it."""
+        engine = Engine()
+        recorder = Recorder()
+        doomed = []
+
+        def killer() -> None:
+            recorder.fired.append("killer")
+            for handle in doomed:
+                handle.cancel()
+
+        base = 0.5 * WHEEL_RESOLUTION  # all inside one tick
+        engine.schedule(base, killer)
+        doomed.extend(
+            engine.schedule(base + 1e-7 * i, recorder, f"doomed-{i}") for i in range(5)
+        )
+        survivor_time = base + 1e-3
+        engine.schedule(survivor_time + 0.0, recorder, "tail")
+        engine.run_until_idle()
+        assert recorder.fired == ["killer", "tail"]
+        assert engine.live_pending == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                # Delays spanning level 0, level 1+, and lap boundaries.
+                st.sampled_from(
+                    [0.0, 0.01, 0.3, LAP0, 1.7 * LAP0, 5 * LAP0, 300.0]
+                ),
+                # None = keep; an int selects "cancel after that many
+                # firings" (so cancels happen mid-run, after cascades).
+                st.one_of(st.none(), st.integers(min_value=0, max_value=6)),
+            ),
+            max_size=40,
+        )
+    )
+    def test_mid_run_cancels_match_reference_heap(self, operations):
+        """Timers cancelled *while the wheel is advancing* (not at
+        schedule time) still leave exactly the reference firing order."""
+        engine = Engine()
+        fired: list[int] = []
+        handles: dict[int, object] = {}
+        pending_cancels: dict[int, list[int]] = {}
+
+        def fire(index: int) -> None:
+            fired.append(index)
+            for victim in pending_cancels.get(len(fired), ()):
+                handle = handles.get(victim)
+                if handle is not None:
+                    handle.cancel()
+
+        for index, (delay, cancel_after) in enumerate(operations):
+            handles[index] = engine.schedule(delay, fire, index)
+            if cancel_after is not None:
+                pending_cancels.setdefault(cancel_after, []).append(index)
+        # Cancels registered for "after 0 firings" happen immediately.
+        for victim in pending_cancels.get(0, ()):
+            handles[victim].cancel()
+        engine.run_until_idle()
+
+        # Reference: replay on a (time, seq) heap with the same cancel
+        # schedule driven by the same firing sequence.
+        queue: list = []
+        seq = count()
+        ref_fired: list[int] = []
+        cancelled: set[int] = set()
+        ref_cancels = {
+            k: list(v) for k, v in pending_cancels.items()
+        }
+        for index, (delay, _cancel) in enumerate(operations):
+            heapq.heappush(queue, (delay, next(seq), index))
+        for victim in ref_cancels.get(0, ()):
+            cancelled.add(victim)
+        while queue:
+            _, _, index = heapq.heappop(queue)
+            if index in cancelled:
+                continue
+            ref_fired.append(index)
+            for victim in ref_cancels.get(len(ref_fired), ()):
+                cancelled.add(victim)
+        assert fired == ref_fired
+        assert engine.live_pending == 0
+
+
+class TestCursorBoundedness:
+    def test_far_timer_does_not_pin_consumed_cursor_entries(self):
+        """Regression: a lone far-future timer advances the wheel
+        position to its tick, so every nearer timer bisects into the
+        staged cursor batch.  The consumed prefix must be trimmed as the
+        batch drains — not retained until the far timer finally fires."""
+        engine = Engine()
+        recorder = Recorder()
+        engine.schedule(3600.0, recorder, "far")  # pins one cursor batch
+
+        def hop(i: int) -> None:
+            recorder.fired.append(i)
+            engine.schedule(30.0, recorder, ("decoy", i)).cancel()
+            if i < 20_000:
+                engine.schedule(0.01, hop, i + 1)
+
+        engine.schedule(0.01, hop, 0)
+        engine.run_until(300.0)
+        # ~40k timers flowed through the pinned batch; the cursor must
+        # hold only a bounded tail, not every consumed entry.
+        assert len(engine._wheel_cursor) < 5_000
+        assert engine.live_pending == 1  # just the far timer
+        engine.run_until_idle()
+        assert recorder.fired[-1] == "far"
+
+
+class TestOverflowHandoff:
+    def test_beyond_wheel_timers_land_in_overflow_and_fire_in_order(self):
+        engine = Engine()
+        recorder = Recorder()
+        engine.schedule(BEYOND_WHEEL + 2.0, recorder, "later")
+        engine.schedule(BEYOND_WHEEL + 1.0, recorder, "sooner")
+        engine.schedule(0.5, recorder, "near")
+        assert engine._wheel_overflow  # really took the overflow path
+        engine.run_until_idle()
+        assert recorder.fired == ["near", "sooner", "later"]
+        assert engine.now == BEYOND_WHEEL + 2.0
+
+    def test_overflow_interleaves_with_posts_and_reanchors_the_wheel(self):
+        """Draining an overflow batch re-anchors the wheel position far
+        in the future; timers scheduled from there must still work."""
+        engine = Engine()
+        recorder = Recorder()
+
+        def from_the_future() -> None:
+            recorder.fired.append("handoff")
+            engine.schedule(0.25, recorder, "post-handoff")
+
+        engine.schedule(BEYOND_WHEEL, from_the_future)
+        engine.post(1.0, recorder, "near-post")
+        engine.run_until_idle()
+        assert recorder.fired == ["near-post", "handoff", "post-handoff"]
+
+    def test_cancelled_overflow_entries_are_reclaimed(self):
+        engine = Engine()
+        handles = [
+            engine.schedule(BEYOND_WHEEL + i, lambda: None) for i in range(100)
+        ]
+        keeper = engine.schedule(1.0, lambda: None)
+        for handle in handles:
+            handle.cancel()
+        engine.compact()
+        assert engine.pending == 1
+        engine.run_until_idle()
+        assert engine.now == keeper.time
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from([0.1, 10.0, LAP0 * 3, BEYOND_WHEEL, BEYOND_WHEEL * 2]),
+            max_size=25,
+        )
+    )
+    def test_overflow_and_levels_merge_sorted(self, delays):
+        engine = Engine()
+        fired: list[float] = []
+        for delay in delays:
+            engine.schedule(delay, lambda d=delay: fired.append(d))
+        engine.run_until_idle()
+        assert fired == sorted(delays)
+
+
+#: Shared sink for the mid-cascade pickling test: module-level functions
+#: pickle by reference, so a thawed engine's callbacks append to the
+#: *same* list as the original's — the combined order is observable.
+_GLOBAL_FIRED: list = []
+
+
+def _record_global(label) -> None:
+    _GLOBAL_FIRED.append(label)
+
+
+class TestFreezeThawMidCascade:
+    def test_pickle_with_wheel_mid_advance_continues_identically(self):
+        """Pickling an engine whose wheel has advanced (entries staged in
+        the cursor, cascades partially applied, far timers parked in the
+        overflow) and resuming must fire exactly what an uninterrupted
+        engine fires."""
+
+        def build() -> Engine:
+            engine = Engine()
+            for i in range(8):
+                engine.schedule(0.4 * LAP0 + i * WHEEL_RESOLUTION / 3, _record_global, i)
+            for i in range(4):
+                engine.schedule(2.5 * LAP0 + i * 0.01, _record_global, 100 + i)
+            engine.schedule(BEYOND_WHEEL, _record_global, "overflow")
+            return engine
+
+        _GLOBAL_FIRED.clear()
+        reference = build()
+        reference.run_until_idle()
+        expected = list(_GLOBAL_FIRED)
+        assert expected[-1] == "overflow"
+
+        _GLOBAL_FIRED.clear()
+        engine = build()
+        # Stop mid-stream: the wheel has cascaded and staged batches.
+        engine.run_until(0.4 * LAP0 + WHEEL_RESOLUTION)
+        assert 0 < len(_GLOBAL_FIRED) < len(expected)
+        thawed = pickle.loads(pickle.dumps(engine))
+        thawed.run_until_idle()
+        assert _GLOBAL_FIRED == expected
+        assert thawed.live_pending == 0
+        assert thawed.now == reference.now
+
+    def test_pickle_round_trip_is_canonical_fixed_point(self):
+        """The wheel pickles as sorted canonical entries: freezing the
+        same logical state twice yields identical bytes regardless of how
+        far the wheel advanced or what was cancelled in between."""
+        engine = Engine()
+        engine.schedule(0.3, print, "a")
+        engine.schedule(4 * LAP0, print, "b")
+        engine.schedule(BEYOND_WHEEL, print, "c")
+        engine.schedule(0.2, print, "doomed").cancel()
+        frozen = pickle.dumps(engine)
+        thawed = pickle.loads(frozen)
+        assert pickle.dumps(thawed) == frozen
+        # Cancelled wheel entries are dropped from the pickle entirely.
+        assert thawed.pending == 3
+        assert thawed.live_pending == 3
+
+    def test_thawed_engine_preserves_same_tick_insertion_order(self):
+        # Three timers sharing one wheel tick (two at the same instant):
+        # the (time, seq) order must survive canonical re-placement.
+        _GLOBAL_FIRED.clear()
+        engine = Engine()
+        engine.schedule(0.5, _record_global, "first")
+        engine.schedule(0.5 + WHEEL_RESOLUTION / 10, _record_global, "second")
+        engine.schedule(0.5, _record_global, "third")  # same instant as first
+        thawed = pickle.loads(pickle.dumps(engine))
+        thawed.run_until_idle()
+        assert _GLOBAL_FIRED == ["first", "third", "second"]
+        # And the original, run independently, fires the same order.
+        _GLOBAL_FIRED.clear()
+        engine.run_until_idle()
+        assert _GLOBAL_FIRED == ["first", "third", "second"]
