@@ -365,17 +365,29 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     import asyncio
 
     from .faults.chaos import ChaosController
-    from .faults.plan import CrashEvent, FaultPlan, PartitionEvent, RestartEvent
+    from .faults.plan import (
+        CrashEvent,
+        FaultPlan,
+        PartitionEvent,
+        RestartEvent,
+        plan_from_file,
+    )
     from .runtime.cluster import LocalCluster
 
-    plan = FaultPlan(
-        events=(
-            PartitionEvent(at=0.0, weights=(0.5, 0.5), heal_at=1.0, rejoin=3),
-            CrashEvent(at=1.5, fraction=0.25),
-            RestartEvent(at=2.0, fraction=1.0),
-        ),
-        label="chaos-demo",
-    )
+    if args.plan is not None:
+        plan = plan_from_file(args.plan)
+    else:
+        plan = FaultPlan(
+            events=(
+                PartitionEvent(at=0.0, weights=(0.5, 0.5), heal_at=1.0, rejoin=3),
+                CrashEvent(at=1.5, fraction=0.25),
+                RestartEvent(at=2.0, fraction=1.0),
+            ),
+            label="chaos-demo",
+        )
+    # Reject impossible plans before a single socket is opened — the
+    # structured ConfigurationError surfaces as `error: ...`, exit 2.
+    plan.validate_for(args.nodes)
 
     async def demo() -> list[list[object]]:
         cluster = LocalCluster(args.nodes, base_seed=args.seed)
@@ -416,6 +428,49 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             f"{'; '.join(plan.describe())}",
         )
     )
+    return 0
+
+
+def cmd_service_bench(args: argparse.Namespace) -> int:
+    """Sustained-throughput live benchmark of the pub/sub service layer.
+
+    Many multiplexed clients publish on a few topics over a loopback-TCP
+    cluster while (by default) one node crashes mid-run and restarts on
+    the *same* port — exercising the epoch handshake, circuit breakers
+    and per-phase latency measurement end to end.
+    """
+    # Imported lazily: asyncio runtime machinery that the simulator
+    # commands never need.
+    import asyncio
+
+    from .service.bench import format_report, run_service_bench, write_artifacts
+
+    budget = args.duration * 3.0 + 60.0
+    report = asyncio.run(
+        asyncio.wait_for(
+            run_service_bench(
+                nodes=args.nodes,
+                clients=args.clients,
+                topics=args.topics,
+                duration=args.duration,
+                rate=args.rate,
+                seed=args.seed,
+                chaos=not args.no_chaos,
+            ),
+            timeout=budget,
+        )
+    )
+    print(format_report(report))
+    if args.out is not None:
+        for path in write_artifacts(report, args.out):
+            print(f"wrote {path}", file=sys.stderr)
+    if report["staleness"]["stale_deliveries"]:
+        print(
+            f"error: {report['staleness']['stale_deliveries']} stale-incarnation "
+            "deliveries reached clients",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -541,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--nodes", type=int, default=8, help="cluster size")
     p.add_argument(
+        "--plan", type=pathlib.Path, default=None, metavar="FILE",
+        help="JSON fault plan to replay (default: the built-in demo plan)",
+    )
+    p.add_argument(
         "--time-scale", type=float, default=1.0,
         help="wall seconds per plan second (stretch for slow machines)",
     )
@@ -550,6 +609,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=7, help="chaos RNG seed")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "service-bench",
+        help="sustained-throughput pub/sub benchmark on a live cluster",
+    )
+    p.add_argument("--nodes", type=int, default=3, help="cluster size")
+    p.add_argument("--clients", type=int, default=100, help="multiplexed clients")
+    p.add_argument("--topics", type=int, default=2, help="topic count")
+    p.add_argument(
+        "--duration", type=float, default=6.0,
+        help="seconds of sustained publish load (split into phases)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=60.0,
+        help="aggregate publish rate (messages/second across all clients)",
+    )
+    p.add_argument("--seed", type=int, default=7, help="base seed")
+    p.add_argument(
+        "--no-chaos", action="store_true",
+        help="skip the mid-run crash/restart (steady-state baseline)",
+    )
+    p.add_argument(
+        "--out", type=pathlib.Path, default=None, metavar="DIR",
+        help="write BENCH_service_live.json / TIMINGS_service_live.json here",
+    )
+    p.set_defaults(func=cmd_service_bench)
 
     return parser
 

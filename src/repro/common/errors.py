@@ -35,3 +35,11 @@ class CodecError(ReproError):
 
 class ProtocolError(ReproError):
     """A protocol state machine received input that violates its contract."""
+
+
+class ServiceError(ReproError):
+    """The client-facing service layer rejected or failed an operation."""
+
+
+class RateLimitedError(ServiceError):
+    """A client exceeded its publish rate budget (token bucket empty)."""

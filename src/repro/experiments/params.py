@@ -21,22 +21,18 @@ from typing import Optional
 
 from ..common.errors import ConfigurationError
 from ..core.config import HyParViewConfig
+from ..gossip.plumtree import PlumtreeConfig
 from ..gossip.reliable import ReliableConfig
 from ..protocols.cyclon import CyclonConfig
+from ..protocols.registry import stack_names
 from ..protocols.scamp import ScampConfig
 
-#: Protocol names accepted by the scenario builder.  The ``*-reliable``
-#: stacks run the ack+retransmit broadcast layer (datagrams + per-copy
-#: acks + cancellable retransmit timers) over the named overlay.
-PROTOCOL_NAMES = (
-    "hyparview",
-    "cyclon",
-    "cyclon-acked",
-    "scamp",
-    "plumtree",
-    "hyparview-reliable",
-    "cyclon-reliable",
-)
+#: Protocol names accepted by the scenario builder, derived from the
+#: declarative stack registry (:mod:`repro.protocols.registry`) so the
+#: simulator, the asyncio runtime and this tuple can never disagree.  The
+#: ``*-reliable`` stacks run the ack+retransmit broadcast layer (datagrams
+#: + per-copy acks + cancellable retransmit timers) over the named overlay.
+PROTOCOL_NAMES = stack_names()
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +47,10 @@ class ExperimentParams:
     cyclon: CyclonConfig = field(default_factory=CyclonConfig)
     scamp: ScampConfig = field(default_factory=ScampConfig)
     reliable: ReliableConfig = field(default_factory=ReliableConfig)
+    #: Plumtree tuning; ``None`` uses the layer's defaults (the published
+    #: setting).  Carried here so the stack registry can build plumtree
+    #: stacks from one parameter object in both substrates.
+    plumtree: Optional[PlumtreeConfig] = None
     latency_seconds: float = 0.01
     #: Engine timestamp quantisation (seconds); ``None`` keeps exact float
     #: bucketing.  Set by scenarios whose latency is continuous (WAN-jitter

@@ -23,17 +23,10 @@ from typing import Optional
 from ..common.errors import ConfigurationError, SimulationError
 from ..common.ids import NodeId, simulated_node_ids
 from ..common.rng import SeedSequence
-from ..core.protocol import HyParView
-from ..gossip.eager import EagerGossip
-from ..gossip.flood import FloodBroadcast
-from ..gossip.plumtree import Plumtree
-from ..gossip.reliable import ReliableGossip
 from ..gossip.tracker import BroadcastSummary, BroadcastTracker
 from ..metrics.graph import OverlaySnapshot
 from ..protocols.base import PeerSamplingService
-from ..protocols.cyclon import Cyclon
-from ..protocols.cyclon_acked import CyclonAcked
-from ..protocols.scamp import Scamp
+from ..protocols.registry import get_stack
 from ..sim.engine import Engine
 from ..sim.latency import ConstantLatency
 from ..sim.network import Network
@@ -80,52 +73,13 @@ class Scenario:
     # Stack construction
     # ------------------------------------------------------------------
     def _build_stack(self, node: SimNode) -> None:
-        params = self.params
-        if self.protocol == "hyparview":
-            membership = HyParView(node.host("membership"), params.hyparview)
-            broadcast = FloodBroadcast(node.host("gossip"), membership, self.tracker)
-        elif self.protocol == "plumtree":
-            membership = HyParView(node.host("membership"), params.hyparview)
-            broadcast = Plumtree(node.host("gossip"), membership, self.tracker)
-        elif self.protocol == "cyclon":
-            membership = Cyclon(node.host("membership"), params.cyclon)
-            broadcast = EagerGossip(
-                node.host("gossip"), membership, self.tracker, fanout=params.fanout, acked=False
-            )
-        elif self.protocol == "cyclon-acked":
-            membership = CyclonAcked(node.host("membership"), params.cyclon)
-            broadcast = EagerGossip(
-                node.host("gossip"), membership, self.tracker, fanout=params.fanout, acked=True
-            )
-        elif self.protocol == "scamp":
-            membership = Scamp(node.host("membership"), params.scamp)
-            broadcast = EagerGossip(
-                node.host("gossip"), membership, self.tracker, fanout=params.fanout, acked=False
-            )
-        elif self.protocol == "hyparview-reliable":
-            # HyParView's flood discipline (fanout 0 = whole active view)
-            # over *unreliable* transport, with per-copy acks and
-            # retransmit timers supplying the reliability and the failure
-            # signal instead of TCP.
-            membership = HyParView(node.host("membership"), params.hyparview)
-            broadcast = ReliableGossip(
-                node.host("gossip"), membership, self.tracker, fanout=0,
-                ack_timeout=params.reliable.ack_timeout,
-                backoff=params.reliable.backoff,
-                max_retries=params.reliable.max_retries,
-            )
-        elif self.protocol == "cyclon-reliable":
-            # CyclonAcked's membership (it reacts to reported failures)
-            # under fanout gossip with acks and retransmissions.
-            membership = CyclonAcked(node.host("membership"), params.cyclon)
-            broadcast = ReliableGossip(
-                node.host("gossip"), membership, self.tracker, fanout=params.fanout,
-                ack_timeout=params.reliable.ack_timeout,
-                backoff=params.reliable.backoff,
-                max_retries=params.reliable.max_retries,
-            )
-        else:  # pragma: no cover - guarded in __init__
-            raise ConfigurationError(f"unknown protocol: {self.protocol}")
+        # One construction path shared with the asyncio runtime: the
+        # declarative stack registry (repro.protocols.registry) owns the
+        # membership/broadcast factory pair for each protocol name.
+        spec = get_stack(self.protocol)
+        membership, broadcast = spec.build(
+            node.host("membership"), node.host("gossip"), self.params, self.tracker
+        )
         node.wire("membership", membership)
         node.wire("gossip", broadcast)
 

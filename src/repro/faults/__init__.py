@@ -23,6 +23,7 @@ from .plan import (
     PartitionEvent,
     Phase,
     RestartEvent,
+    plan_from_file,
     validate_phases,
 )
 from .sim import SimFaultDriver
@@ -38,5 +39,6 @@ __all__ = [
     "RestartEvent",
     "SimFaultDriver",
     "measure_fault_plan",
+    "plan_from_file",
     "validate_phases",
 ]

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..common.errors import ConfigurationError
-from ..common.ids import NodeId
+from ..common.ids import MessageId, NodeId
+from ..metrics.latency import LatencyHistogram
 from ..runtime.cluster import LocalCluster
 from .plan import (
     AdversaryEvent,
@@ -37,9 +38,11 @@ from .plan import (
     FaultEvent,
     FaultPlan,
     PartitionEvent,
+    Phase,
     RestartEvent,
     pick_count,
     split_weighted,
+    validate_phases,
 )
 
 
@@ -63,13 +66,24 @@ class ChaosController:
         *,
         time_scale: float = 1.0,
         seed: int = 0,
+        phases: Sequence[Phase] = (),
+        restart_reuse_port: bool = False,
     ) -> None:
         if time_scale <= 0:
             raise ConfigurationError(f"time_scale must be positive: {time_scale}")
+        # Fail here, at construction, when the plan names more nodes than
+        # the cluster has — not at apply time inside victim sampling.
+        plan.validate_for(len(cluster.nodes))
         self.cluster = cluster
         self.plan = plan
         self.time_scale = time_scale
+        self.phases = validate_phases(phases)
+        self.restart_reuse_port = restart_reuse_port
         self._rng = random.Random(seed)
+        #: message id -> (publish wall time, publish plan time); fed by
+        #: :meth:`mark_publish`, read by :meth:`latency_report`.
+        self._publishes: dict[MessageId, tuple[float, float]] = {}
+        self._run_start: Optional[float] = None
         #: (plan time, description) per applied effect, in order.
         self.applied: list[tuple[float, str]] = []
         self._partition: Optional[dict[NodeId, int]] = None
@@ -92,6 +106,7 @@ class ChaosController:
         for node in self.cluster.alive_nodes():
             self._install(node)
         start = self._loop.time()
+        self._run_start = start
         for at, apply in self._timeline():
             delay = start + at * self.time_scale - self._loop.time()
             if delay > 0:
@@ -180,7 +195,9 @@ class ChaosController:
             count = self._amount(event.fraction, event.count, len(dead))
             victims = self._rng.sample(dead, count) if count else []
             for index in victims:
-                node = await self.cluster.restart_node(index)
+                node = await self.cluster.restart_node(
+                    index, reuse_port=self.restart_reuse_port
+                )
                 self._install(node)
             self._note(event.at, f"{event.describe()} -> {len(victims)} restarted")
         elif isinstance(event, AdversaryEvent):
@@ -219,6 +236,84 @@ class ChaosController:
     @staticmethod
     def _amount(fraction: Optional[float], count: Optional[int], population: int) -> int:
         return pick_count(fraction, count, population)
+
+    # ------------------------------------------------------------------
+    # Latency measurement (the live counterpart of measure_fault_plan)
+    # ------------------------------------------------------------------
+    def mark_publish(self, message_id: MessageId) -> None:
+        """Stamp a just-published message for latency accounting.
+
+        Call immediately after ``broadcast``/``publish``.  The stamp pins
+        the message to a plan-time instant, so :meth:`latency_report` can
+        bucket its deliveries into the plan's phases.
+        """
+        if self._loop is not None:
+            now = self._loop.time()
+        else:
+            now = asyncio.get_running_loop().time()
+        start = self._run_start if self._run_start is not None else now
+        self._publishes[message_id] = (now, (now - start) / self.time_scale)
+
+    def latency_report(self) -> dict:
+        """Per-phase publish→deliver latency over the cluster's delivery log.
+
+        Each marked message belongs to the phase containing its *publish*
+        plan-time (deliveries of one message always count together, even
+        when they land after the phase boundary).  Messages published
+        outside every phase pool under ``"unphased"``.  Latency is wall
+        time from the publish stamp to each node's delivery record.
+        """
+        phase_names = [phase.name for phase in self.phases]
+        histograms = {name: LatencyHistogram() for name in phase_names}
+        histograms["unphased"] = LatencyHistogram()
+        publish_counts = {name: 0 for name in histograms}
+        overall = LatencyHistogram()
+
+        def phase_of(plan_time: float) -> str:
+            for phase in self.phases:
+                if phase.contains(plan_time):
+                    return phase.name
+            return "unphased"
+
+        for wall, plan_time in self._publishes.values():
+            publish_counts[phase_of(plan_time)] += 1
+        for record in self.cluster.delivery_log.records:
+            stamp = self._publishes.get(record.message_id)
+            if stamp is None:
+                continue
+            wall, plan_time = stamp
+            latency = record.at - wall
+            histograms[phase_of(plan_time)].record(latency)
+            overall.record(latency)
+
+        rows = []
+        for phase in self.phases:
+            row = {
+                "phase": phase.name,
+                "start": phase.start,
+                "end": phase.end,
+                "publishes": publish_counts[phase.name],
+            }
+            row.update(histograms[phase.name].to_dict())
+            rows.append(row)
+        if publish_counts["unphased"] or not self.phases:
+            row = {
+                "phase": "unphased",
+                "start": None,
+                "end": None,
+                "publishes": publish_counts["unphased"],
+            }
+            row.update(histograms["unphased"].to_dict())
+            rows.append(row)
+        report = {
+            "schema": "repro-live-latency/1",
+            "time_scale": self.time_scale,
+            "plan": self.plan.describe(),
+            "publishes": len(self._publishes),
+            "phases": rows,
+        }
+        report.update(overall.to_dict())
+        return report
 
 
 __all__ = ["ChaosController"]

@@ -40,6 +40,7 @@ asserted by the fault-injection test suite.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -255,6 +256,46 @@ class FaultPlan:
     def horizon(self) -> float:
         return max((event.end for event in self.events), default=0.0)
 
+    @property
+    def min_population(self) -> int:
+        """The smallest system the plan makes sense against.
+
+        Count-based events name that many concrete victims; a partition
+        needs one node per group.  Fractions scale with any population and
+        ``rejoin`` is "up to that many" (it samples from whoever is alive),
+        so neither raises the floor.
+        """
+        floor = 0
+        for event in self.events:
+            if isinstance(event, PartitionEvent):
+                floor = max(floor, len(event.weights))
+            count = getattr(event, "count", None)
+            if count is not None:
+                floor = max(floor, count)
+        return floor
+
+    def validate_for(self, size: int) -> None:
+        """Reject the plan against a ``size``-node deployment up front.
+
+        Without this the mismatch surfaces only at apply time, deep inside
+        a driver's victim sampling, long after the cluster was built.
+        """
+        needed = self.min_population
+        if size < needed:
+            offenders = [
+                event.describe()
+                for event in self.events
+                if (
+                    isinstance(event, PartitionEvent)
+                    and len(event.weights) > size
+                )
+                or (getattr(event, "count", None) or 0) > size
+            ]
+            raise ConfigurationError(
+                f"plan {self.label!r} references {needed} nodes but the "
+                f"deployment has {size}; offending events: {offenders}"
+            )
+
     def __bool__(self) -> bool:
         return bool(self.events)
 
@@ -291,6 +332,52 @@ class FaultPlan:
                     f"(expected 'crash' or 'restart')"
                 )
         return FaultPlan(events=tuple(events), label=label)
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        """Build a plan from its JSON form (see ``plan_from_file``).
+
+        Shape: ``{"label": str, "events": [{"kind": "crash", "at": 1.0,
+        ...}, ...]}`` where ``kind`` selects the event class and the
+        remaining keys are its constructor fields.  List-valued fields
+        (``weights``, ``jitter``, ``drop_types``) are accepted as JSON
+        arrays.  Every validation error is a :class:`ConfigurationError`
+        naming the offending event.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"plan must be a JSON object: {type(data).__name__}")
+        kinds = {
+            "partition": PartitionEvent,
+            "degrade": DegradeEvent,
+            "crash": CrashEvent,
+            "restart": RestartEvent,
+            "adversary": AdversaryEvent,
+        }
+        tuple_fields = ("weights", "jitter", "drop_types")
+        events: list[FaultEvent] = []
+        for index, entry in enumerate(data.get("events", ())):
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise ConfigurationError(
+                    f"plan event #{index} must be an object with a 'kind': {entry!r}"
+                )
+            fields = dict(entry)
+            kind = fields.pop("kind")
+            event_class = kinds.get(kind)
+            if event_class is None:
+                raise ConfigurationError(
+                    f"plan event #{index}: unknown kind {kind!r}; "
+                    f"expected one of {sorted(kinds)}"
+                )
+            for name in tuple_fields:
+                if isinstance(fields.get(name), list):
+                    fields[name] = tuple(fields[name])
+            try:
+                events.append(event_class(**fields))
+            except TypeError as error:
+                raise ConfigurationError(
+                    f"plan event #{index} ({kind}): {error}"
+                ) from error
+        return FaultPlan(events=tuple(events), label=str(data.get("label", "faults")))
 
 
 @dataclass(frozen=True, slots=True)
@@ -345,6 +432,19 @@ def split_weighted(members: Sequence, weights: Sequence[float]) -> list[list]:
     return groups
 
 
+def plan_from_file(path) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file (``FaultPlan.from_dict``
+    shape); malformed JSON is a :class:`ConfigurationError`, not a crash."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ConfigurationError(f"cannot read plan file {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"plan file {path} is not valid JSON: {error}") from error
+    return FaultPlan.from_dict(data)
+
+
 def validate_phases(phases: Sequence[Phase]) -> tuple[Phase, ...]:
     """Phases sorted by start; overlaps are rejected (metrics would double
     count messages)."""
@@ -368,6 +468,7 @@ __all__ = [
     "Phase",
     "RestartEvent",
     "pick_count",
+    "plan_from_file",
     "split_weighted",
     "validate_phases",
 ]

@@ -1,6 +1,7 @@
 """Overlay analytics and reliability measurement."""
 
 from .graph import OverlaySnapshot, PathStats
+from .latency import LatencyHistogram
 from .reliability import (
     atomic_fraction,
     average_reliability,
@@ -12,6 +13,7 @@ from .reliability import (
 from .stats import SummaryStats, mean, percentile, stddev, summarize
 
 __all__ = [
+    "LatencyHistogram",
     "OverlaySnapshot",
     "PathStats",
     "SummaryStats",

@@ -1,0 +1,201 @@
+"""Declarative protocol-stack registry: one construction path for sim and live.
+
+A *stack* is a membership protocol plus a broadcast layer.  Historically the
+simulator built stacks through an ``if/elif`` chain in
+``Scenario._build_stack`` while the asyncio runtime hand-wired its own pair
+in ``RuntimeNode.start`` — two code paths that could (and once did) drift.
+This module replaces both with :class:`StackSpec`: a pair of factories keyed
+by the stack's public name.
+
+Factories receive a sans-io :class:`~repro.common.interfaces.Host` plus the
+experiment parameter object, so the *same* spec builds the stack over the
+discrete-event engine and over real TCP sockets.  The parameter object is
+duck-typed (anything exposing ``hyparview`` / ``cyclon`` / ``scamp`` /
+``fanout`` / ``reliable`` / ``plumtree`` as needed) to keep this module free
+of an import cycle with :mod:`repro.experiments.params`, which derives its
+``PROTOCOL_NAMES`` tuple from this registry.
+
+Adding a protocol stack is one :func:`register_stack` call::
+
+    register_stack(StackSpec(
+        name="my-stack",
+        membership=lambda host, params: MyMembership(host, params.myconfig),
+        broadcast=lambda host, membership, params, tracker, on_deliver:
+            EagerGossip(host, membership, tracker,
+                        fanout=params.fanout, on_deliver=on_deliver),
+        runtime=True,   # constructible over the asyncio runtime too
+    ))
+
+Registration order is the canonical protocol order (it defines
+``PROTOCOL_NAMES``), so append new stacks after the built-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..common.errors import ConfigurationError
+from ..common.interfaces import Host
+from ..core.protocol import HyParView
+from ..gossip.eager import EagerGossip
+from ..gossip.flood import FloodBroadcast
+from ..gossip.plumtree import Plumtree
+from ..gossip.reliable import ReliableGossip
+from .base import PeerSamplingService
+from .cyclon import Cyclon
+from .cyclon_acked import CyclonAcked
+from .scamp import Scamp
+
+#: ``(host, params) -> membership`` — the peer-sampling half of a stack.
+MembershipFactory = Callable[[Host, Any], PeerSamplingService]
+
+#: ``(host, membership, params, tracker, on_deliver) -> broadcast layer``.
+BroadcastFactory = Callable[[Host, PeerSamplingService, Any, Any, Any], Any]
+
+
+@dataclass(frozen=True, slots=True)
+class StackSpec:
+    """One named protocol stack: how to build membership and broadcast."""
+
+    name: str
+    membership: MembershipFactory
+    broadcast: BroadcastFactory
+    #: Whether the stack is constructible over the asyncio runtime.  The
+    #: simulator can run every stack; the runtime additionally calls
+    #: ``start``/``stop`` on the membership layer, which every protocol
+    #: provides, so this flag mostly records what has live test coverage.
+    runtime: bool = False
+
+    def build(
+        self,
+        membership_host: Host,
+        gossip_host: Host,
+        params: Any,
+        tracker: Any = None,
+        on_deliver: Optional[Callable] = None,
+    ) -> tuple[PeerSamplingService, Any]:
+        """Construct the (membership, broadcast) pair over the given hosts."""
+        membership = self.membership(membership_host, params)
+        broadcast = self.broadcast(gossip_host, membership, params, tracker, on_deliver)
+        return membership, broadcast
+
+
+_REGISTRY: dict[str, StackSpec] = {}
+
+
+def register_stack(spec: StackSpec) -> StackSpec:
+    """Register a stack under its name; duplicate names are a config bug."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"duplicate stack name: {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_stack(name: str) -> StackSpec:
+    """Look up a registered stack; raises with the available names."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; expected one of {stack_names()}"
+        )
+    return spec
+
+
+def stack_names() -> tuple[str, ...]:
+    """All registered stack names, in registration (canonical) order."""
+    return tuple(_REGISTRY)
+
+
+def runtime_stack_names() -> tuple[str, ...]:
+    """The stacks constructible over the asyncio runtime."""
+    return tuple(name for name, spec in _REGISTRY.items() if spec.runtime)
+
+
+# ----------------------------------------------------------------------
+# Built-in stacks, in the canonical order PROTOCOL_NAMES always listed.
+# ----------------------------------------------------------------------
+register_stack(StackSpec(
+    name="hyparview",
+    membership=lambda host, params: HyParView(host, params.hyparview),
+    broadcast=lambda host, membership, params, tracker, on_deliver: FloodBroadcast(
+        host, membership, tracker, on_deliver=on_deliver
+    ),
+    runtime=True,
+))
+
+register_stack(StackSpec(
+    name="cyclon",
+    membership=lambda host, params: Cyclon(host, params.cyclon),
+    broadcast=lambda host, membership, params, tracker, on_deliver: EagerGossip(
+        host, membership, tracker,
+        fanout=params.fanout, acked=False, on_deliver=on_deliver,
+    ),
+))
+
+register_stack(StackSpec(
+    name="cyclon-acked",
+    membership=lambda host, params: CyclonAcked(host, params.cyclon),
+    broadcast=lambda host, membership, params, tracker, on_deliver: EagerGossip(
+        host, membership, tracker,
+        fanout=params.fanout, acked=True, on_deliver=on_deliver,
+    ),
+))
+
+register_stack(StackSpec(
+    name="scamp",
+    membership=lambda host, params: Scamp(host, params.scamp),
+    broadcast=lambda host, membership, params, tracker, on_deliver: EagerGossip(
+        host, membership, tracker,
+        fanout=params.fanout, acked=False, on_deliver=on_deliver,
+    ),
+))
+
+register_stack(StackSpec(
+    name="plumtree",
+    membership=lambda host, params: HyParView(host, params.hyparview),
+    broadcast=lambda host, membership, params, tracker, on_deliver: Plumtree(
+        host, membership, tracker,
+        config=getattr(params, "plumtree", None), on_deliver=on_deliver,
+    ),
+    runtime=True,
+))
+
+# HyParView's flood discipline (fanout 0 = whole active view) over
+# *unreliable* transport, with per-copy acks and retransmit timers
+# supplying the reliability and the failure signal instead of TCP.
+register_stack(StackSpec(
+    name="hyparview-reliable",
+    membership=lambda host, params: HyParView(host, params.hyparview),
+    broadcast=lambda host, membership, params, tracker, on_deliver: ReliableGossip(
+        host, membership, tracker, fanout=0,
+        ack_timeout=params.reliable.ack_timeout,
+        backoff=params.reliable.backoff,
+        max_retries=params.reliable.max_retries,
+        on_deliver=on_deliver,
+    ),
+    runtime=True,
+))
+
+# CyclonAcked's membership (it reacts to reported failures) under fanout
+# gossip with acks and retransmissions.
+register_stack(StackSpec(
+    name="cyclon-reliable",
+    membership=lambda host, params: CyclonAcked(host, params.cyclon),
+    broadcast=lambda host, membership, params, tracker, on_deliver: ReliableGossip(
+        host, membership, tracker, fanout=params.fanout,
+        ack_timeout=params.reliable.ack_timeout,
+        backoff=params.reliable.backoff,
+        max_retries=params.reliable.max_retries,
+        on_deliver=on_deliver,
+    ),
+))
+
+
+__all__ = [
+    "StackSpec",
+    "get_stack",
+    "register_stack",
+    "runtime_stack_names",
+    "stack_names",
+]

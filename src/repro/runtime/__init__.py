@@ -2,6 +2,7 @@
 
 from .clock import AsyncioClock, AsyncioTimerHandle
 from .cluster import LocalCluster
+from .delivery import DeliveryLog, DeliveryRecord, DeliveryStream
 from .node import RUNTIME_CONFIG, RuntimeNode
 from .transport import AsyncioTransport
 
@@ -9,6 +10,9 @@ __all__ = [
     "AsyncioClock",
     "AsyncioTimerHandle",
     "AsyncioTransport",
+    "DeliveryLog",
+    "DeliveryRecord",
+    "DeliveryStream",
     "LocalCluster",
     "RUNTIME_CONFIG",
     "RuntimeNode",

@@ -1,18 +1,23 @@
 """Local cluster helper: spin up several runtime nodes on loopback TCP.
 
-Used by the integration tests and the ``live_network`` example to stand up
-a real (multi-socket, single-process) HyParView deployment in a few lines.
+Used by the integration tests, the service layer and the ``live_network``
+example to stand up a real (multi-socket, single-process) overlay
+deployment in a few lines.  All nodes share one
+:class:`~repro.runtime.delivery.DeliveryLog`, which is the cluster's single
+delivery surface: counters, event-driven waits and the async-iterator
+stream all come from it.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from ..common.errors import ConfigurationError
 from ..common.ids import MessageId
 from ..core.config import HyParViewConfig
 from ..gossip.plumtree import PlumtreeConfig
+from .delivery import DeliveryLog
 from .node import RuntimeNode
 
 
@@ -24,6 +29,7 @@ class LocalCluster:
         size: int,
         *,
         config: Optional[HyParViewConfig] = None,
+        protocol: Optional[str] = None,
         broadcast: str = "flood",
         plumtree_config: Optional[PlumtreeConfig] = None,
         base_seed: int = 1,
@@ -31,16 +37,23 @@ class LocalCluster:
         if size < 2:
             raise ConfigurationError(f"cluster needs at least 2 nodes: {size}")
         self._config = config
+        self._protocol = protocol
         self._broadcast = broadcast
         self._plumtree_config = plumtree_config
         self._base_seed = base_seed
         self._spawned = size
+        self.delivery_log = DeliveryLog()
+        #: Observers called with the replacement node after every restart
+        #: (the service layer re-attaches its per-node facade here).
+        self.restart_listeners: list[Callable[[int, RuntimeNode], None]] = []
         self.nodes = [
             RuntimeNode(
                 config=config,
+                protocol=protocol,
                 broadcast=broadcast,
                 plumtree_config=plumtree_config,
                 seed=base_seed + index,
+                delivery_log=self.delivery_log,
             )
             for index in range(size)
         ]
@@ -83,7 +96,10 @@ class LocalCluster:
         incarnation binds the *same* address the crashed process held —
         the stale-identity case, where peers still carrying the old
         NodeId in their views dial a process that has none of the old
-        protocol state.  (The simulator models this via ``SimNode.reset``;
+        protocol state.  The replacement's incarnation is its
+        predecessor's plus one, so the epoch handshake lets those peers
+        tell the two processes apart and reject the predecessor's
+        leftovers.  (The simulator models this via ``SimNode.reset``;
         this is the live-runtime equivalent.)
         """
         old = self.nodes[index]
@@ -95,9 +111,12 @@ class LocalCluster:
         node = RuntimeNode(
             port=old.node_id.port if reuse_port else 0,
             config=self._config,
+            protocol=self._protocol,
             broadcast=self._broadcast,
             plumtree_config=self._plumtree_config,
             seed=self._base_seed + self._spawned,
+            incarnation=old.incarnation + 1,
+            delivery_log=self.delivery_log,
         )
         await node.start()
         self.nodes[index] = node
@@ -106,6 +125,8 @@ class LocalCluster:
             contact = alive[0].node_id if alive else None
         if contact is not None:
             node.join(contact)
+        for listener in list(self.restart_listeners):
+            listener(index, node)
         return node
 
     async def broadcast_and_settle(
@@ -116,24 +137,15 @@ class LocalCluster:
         return message_id
 
     def delivery_count(self, message_id: MessageId) -> int:
-        return sum(
-            1
-            for node in self.nodes
-            if any(mid == message_id for mid, _payload in node.delivered)
-        )
+        """How many distinct nodes delivered ``message_id``."""
+        return self.delivery_log.count(message_id)
 
     async def wait_for_delivery(
         self, message_id: MessageId, expected: int, *, timeout: float = 5.0
     ) -> int:
-        """Poll until ``expected`` nodes delivered (or timeout); returns the
-        final count."""
-        deadline = asyncio.get_running_loop().time() + timeout
-        while asyncio.get_running_loop().time() < deadline:
-            count = self.delivery_count(message_id)
-            if count >= expected:
-                return count
-            await asyncio.sleep(0.05)
-        return self.delivery_count(message_id)
+        """Resolve once ``expected`` nodes delivered (or timeout); returns
+        the final count.  Event-driven via the shared delivery log."""
+        return await self.delivery_log.wait_count(message_id, expected, timeout=timeout)
 
     async def wait_for_views(self, minimum: int = 1, *, timeout: float = 5.0) -> bool:
         """Poll until every node has at least ``minimum`` active peers."""

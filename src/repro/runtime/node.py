@@ -3,13 +3,24 @@
 This is the paper's future-work deliverable (Section 6: "an implementation
 of HyParView will be tested in the PlanetLab platform") realised with the
 *same* protocol classes the simulator runs — only the :class:`Transport`
-and :class:`Clock` differ.
+and :class:`Clock` differ.  Stacks are built through the declarative
+registry (:mod:`repro.protocols.registry`), the same construction path the
+simulator's ``Scenario`` uses, so sim and live can never drift.
+
+A node carries an **incarnation** number (its restart count).  It feeds
+two places: the transport's wire-handshake epoch, so peers can tell a
+restarted process from its predecessor when the address is reused, and
+``Host.incarnation``, so the broadcast layer's message-id sequence range
+never collides with the predecessor's.  Deliveries land in a
+:class:`~repro.runtime.delivery.DeliveryLog` (shared across a cluster)
+tagged with the node's identity and incarnation.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..common.errors import ConfigurationError
@@ -17,11 +28,12 @@ from ..common.ids import MessageId, NodeId
 from ..common.interfaces import Host
 from ..common.messages import Message
 from ..core.config import HyParViewConfig
-from ..core.protocol import HyParView
-from ..gossip.flood import FloodBroadcast
-from ..gossip.plumtree import Plumtree, PlumtreeConfig
+from ..gossip.plumtree import PlumtreeConfig
+from ..gossip.reliable import ReliableConfig
 from ..gossip.tracker import BroadcastTracker
+from ..protocols.registry import get_stack, runtime_stack_names
 from .clock import AsyncioClock
+from .delivery import DeliveryLog, DeliveryRecord
 from .transport import AsyncioTransport
 
 #: Application delivery callback: (message id, payload).
@@ -32,9 +44,27 @@ DeliverCallback = Callable[[MessageId, Any], None]
 #: answer, so NEIGHBOR requests need a timeout.
 RUNTIME_CONFIG = HyParViewConfig(neighbor_request_timeout=2.0, shuffle_period=5.0)
 
+#: Legacy ``broadcast=`` names mapped onto registry stack names.  The old
+#: constructor keyword predates the registry; both spellings stay valid.
+_LEGACY_BROADCAST = {"flood": "hyparview", "plumtree": "plumtree"}
+
+
+@dataclass(frozen=True, slots=True)
+class _RuntimeParams:
+    """The parameter surface registry factories read, for live stacks.
+
+    Duck-typed against ``ExperimentParams`` — only the fields the
+    runtime-capable stacks consume.
+    """
+
+    hyparview: HyParViewConfig
+    plumtree: Optional[PlumtreeConfig] = None
+    reliable: ReliableConfig = field(default_factory=ReliableConfig)
+    fanout: int = 4
+
 
 class RuntimeNode:
-    """One HyParView process listening on a TCP address."""
+    """One overlay process listening on a TCP address."""
 
     def __init__(
         self,
@@ -42,23 +72,41 @@ class RuntimeNode:
         port: int = 0,
         *,
         config: Optional[HyParViewConfig] = None,
+        protocol: Optional[str] = None,
         broadcast: str = "flood",
         plumtree_config: Optional[PlumtreeConfig] = None,
+        reliable_config: Optional[ReliableConfig] = None,
         on_deliver: Optional[DeliverCallback] = None,
         seed: Optional[int] = None,
         tracker: Optional[BroadcastTracker] = None,
+        incarnation: int = 0,
+        delivery_log: Optional[DeliveryLog] = None,
     ) -> None:
-        if broadcast not in ("flood", "plumtree"):
-            raise ConfigurationError(f"unknown broadcast layer: {broadcast!r}")
+        if protocol is None:
+            protocol = _LEGACY_BROADCAST.get(broadcast)
+            if protocol is None:
+                raise ConfigurationError(f"unknown broadcast layer: {broadcast!r}")
+        if protocol not in runtime_stack_names():
+            raise ConfigurationError(
+                f"protocol {protocol!r} is not runtime-capable; "
+                f"expected one of {runtime_stack_names()}"
+            )
+        if incarnation < 0:
+            raise ConfigurationError(f"incarnation must be >= 0: {incarnation}")
         self._requested_host = host
         self._requested_port = port
         self._config = config if config is not None else RUNTIME_CONFIG
-        self._broadcast_kind = broadcast
-        self._plumtree_config = plumtree_config
+        self.protocol = protocol
+        self._params = _RuntimeParams(
+            hyparview=self._config,
+            plumtree=plumtree_config,
+            reliable=reliable_config if reliable_config is not None else ReliableConfig(),
+        )
         self._external_deliver = on_deliver
         self._seed = seed
         self._tracker = tracker
-        self.delivered: list[tuple[MessageId, Any]] = []
+        self.incarnation = incarnation
+        self.delivery_log = delivery_log if delivery_log is not None else DeliveryLog()
         self.unhandled = 0
         #: Chaos hook: incoming messages whose type name is listed here are
         #: silently ignored (the misbehaving-peer model — the node stays
@@ -67,10 +115,12 @@ class RuntimeNode:
         self.adversary_drops = 0
         self._handlers: dict[type, Callable[[Message], None]] = {}
         self._started = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         # Set in start():
+        self.started_at: Optional[float] = None
         self.node_id: Optional[NodeId] = None
         self.transport: Optional[AsyncioTransport] = None
-        self.membership: Optional[HyParView] = None
+        self.membership = None
         self.broadcast_layer = None
 
     # ------------------------------------------------------------------
@@ -84,33 +134,37 @@ class RuntimeNode:
         if self._started:
             raise ConfigurationError("node already started")
         loop = asyncio.get_running_loop()
+        self._loop = loop
+        self.started_at = loop.time()
         # Bind first so the advertised identity carries the real port.
         bootstrap = NodeId(self._requested_host, self._requested_port)
-        self.transport = AsyncioTransport(bootstrap, self._dispatch, loop=loop)
+        self.transport = AsyncioTransport(
+            bootstrap, self._dispatch, loop=loop, epoch=self.incarnation
+        )
         await self.transport.start_server()
         sockname = self.transport._server.sockets[0].getsockname()
         self.node_id = NodeId(self._requested_host, sockname[1])
         self.transport._local = self.node_id
         clock = AsyncioClock(loop)
         rng = random.Random(self._seed if self._seed is not None else hash(self.node_id))
-        host = Host(address=self.node_id, clock=clock, transport=self.transport, rng=rng)
-        self.membership = HyParView(host, self._config)
-        gossip_rng = random.Random((self._seed or 0) + 1)
-        gossip_host = Host(
-            address=self.node_id, clock=clock, transport=self.transport, rng=gossip_rng
+        host = Host(
+            address=self.node_id,
+            clock=clock,
+            transport=self.transport,
+            rng=rng,
+            incarnation=self.incarnation,
         )
-        if self._broadcast_kind == "flood":
-            self.broadcast_layer = FloodBroadcast(
-                gossip_host, self.membership, self._tracker, on_deliver=self._on_deliver
-            )
-        else:
-            self.broadcast_layer = Plumtree(
-                gossip_host,
-                self.membership,
-                self._tracker,
-                config=self._plumtree_config,
-                on_deliver=self._on_deliver,
-            )
+        gossip_host = Host(
+            address=self.node_id,
+            clock=clock,
+            transport=self.transport,
+            rng=random.Random((self._seed or 0) + 1),
+            incarnation=self.incarnation,
+        )
+        spec = get_stack(self.protocol)
+        self.membership, self.broadcast_layer = spec.build(
+            host, gossip_host, self._params, self._tracker, on_deliver=self._on_deliver
+        )
         for message_type, handler in self.membership.handlers().items():
             self._handlers[message_type] = handler
         for message_type, handler in self.broadcast_layer.handlers().items():
@@ -124,7 +178,9 @@ class RuntimeNode:
             return
         self._started = False
         self.membership.stop()
-        self.membership.leave()
+        leave = getattr(self.membership, "leave", None)
+        if callable(leave):
+            leave()
         await asyncio.sleep(0)  # let DISCONNECT frames get queued
         await self.transport.close()
 
@@ -143,6 +199,23 @@ class RuntimeNode:
     @property
     def started(self) -> bool:
         return self._started
+
+    @property
+    def delivered(self) -> list[tuple[MessageId, Any]]:
+        """This incarnation's deliveries as ``(message_id, payload)`` pairs.
+
+        A view over the shared :attr:`delivery_log`, scoped to this node's
+        identity *and* incarnation — a reborn process starts with an empty
+        history even when it reuses its predecessor's address.
+        """
+        if self.node_id is None:
+            return []
+        return [
+            (record.message_id, record.payload)
+            for record in self.delivery_log.records_for(
+                self.node_id, incarnation=self.incarnation
+            )
+        ]
 
     def join(self, contact: NodeId) -> None:
         self._require_started()
@@ -165,6 +238,14 @@ class RuntimeNode:
         self._require_started()
         return self.membership.passive_members()
 
+    def set_deliver_callback(self, callback: Optional[DeliverCallback]) -> None:
+        """Install (or clear) the application delivery callback.
+
+        The service layer attaches its fan-out here; deliveries continue to
+        land in :attr:`delivery_log` regardless.
+        """
+        self._external_deliver = callback
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -179,7 +260,15 @@ class RuntimeNode:
         handler(message)
 
     def _on_deliver(self, message_id: MessageId, payload: Any) -> None:
-        self.delivered.append((message_id, payload))
+        self.delivery_log.append(
+            DeliveryRecord(
+                node=self.node_id,
+                incarnation=self.incarnation,
+                message_id=message_id,
+                payload=payload,
+                at=self._loop.time(),
+            )
+        )
         if self._external_deliver is not None:
             self._external_deliver(message_id, payload)
 
@@ -189,4 +278,4 @@ class RuntimeNode:
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "started" if self._started else "stopped"
-        return f"<RuntimeNode {self.node_id} {state}>"
+        return f"<RuntimeNode {self.node_id} inc={self.incarnation} {state}>"

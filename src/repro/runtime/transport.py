@@ -1,10 +1,28 @@
 """Asyncio TCP implementation of the sans-io :class:`Transport` interface.
 
 Wire format: newline-delimited JSON frames.  The first frame on every
-connection is a hello — ``{"hello": [host, port]}`` — identifying the
-*listening* address of the dialing side (TCP source ports are ephemeral
-and useless as identities).  Every subsequent frame is an encoded message
+connection is a hello — ``{"hello": [host, port], "epoch": n}`` —
+identifying the *listening* address of the sending side (TCP source ports
+are ephemeral and useless as identities) and its **epoch**: the restart
+count of the process bound to that address.  Both sides send one: the
+dialer immediately after connecting, the acceptor in reply.  Every
+subsequent frame is an encoded message
 (:func:`repro.common.messages.encode_message`).
+
+The epoch is how peers distinguish a restarted node from its predecessor
+when the address is reused.  The transport remembers the highest epoch it
+has seen per peer address; a handshake claiming an *older* epoch is
+rejected outright (a stale identity — either the dead predecessor's
+half-open socket or an impostor replaying its address), and frames arriving
+on a pooled connection whose epoch has since been superseded are dropped.
+Both show up in :attr:`frames_stale` / :attr:`stale_handshakes`.
+
+Outbound frames go through a **bounded per-peer outbox**: one queue and one
+pump task per destination, so one slow or dead peer can only ever hold
+``max_queue`` frames of memory (the bulkhead pattern) and never blocks
+traffic to other peers.  When the queue is full the *new* frame is rejected
+with its failure callback — backpressure surfaces at the caller, it does
+not accumulate.
 
 Semantics mirror the simulator exactly:
 
@@ -15,6 +33,12 @@ Semantics mirror the simulator exactly:
 * ``watch(dst, on_down)`` — keeps a pooled connection open to ``dst``; the
   reader hitting EOF/reset fires ``on_down``.  This is the open-TCP-
   connection-per-active-view-member of Section 4.1.
+
+Two optional hooks let a service layer wrap every peer link without
+subclassing: :attr:`send_guard` (return ``False`` to reject a send before
+it touches the network — the circuit breaker's fail-fast path) and
+:attr:`send_observer` (called with ``(dst, ok)`` after every send attempt —
+the breaker's failure counter feed).
 """
 
 from __future__ import annotations
@@ -40,18 +64,42 @@ IncomingHandler = Callable[[NodeId, Message], None]
 #: a positive float delays the frame by that many seconds (jitter).
 FaultInjector = Callable[[NodeId, Optional[Message]], object]
 
+#: Pre-send gate: return ``False`` to reject the frame without touching the
+#: network (reported to the caller as a send failure).
+SendGuard = Callable[[NodeId], bool]
+
+#: Post-send signal: ``(dst, ok)`` after every send attempt that reached
+#: the network path (or was failed by the fault injector).
+SendObserver = Callable[[NodeId, bool], None]
+
 
 class _Connection:
-    """One pooled TCP connection with its reader task."""
+    """One pooled TCP connection with its reader task.
 
-    __slots__ = ("peer", "reader", "writer", "reader_task", "closed")
+    ``epoch`` is the epoch the *remote* side claimed in its hello:  known
+    immediately for accepted connections, learned from the reply hello (the
+    first frame the acceptor writes) for dialed ones.
+    """
 
-    def __init__(self, peer: NodeId, reader, writer) -> None:
+    __slots__ = ("peer", "reader", "writer", "reader_task", "closed", "epoch")
+
+    def __init__(self, peer: NodeId, reader, writer, epoch: Optional[int] = None) -> None:
         self.peer = peer
         self.reader = reader
         self.writer = writer
         self.reader_task: Optional[asyncio.Task] = None
         self.closed = False
+        self.epoch = epoch
+
+
+class _Outbox:
+    """Bounded send queue + pump task for one destination."""
+
+    __slots__ = ("queue", "task")
+
+    def __init__(self, queue: asyncio.Queue, task: asyncio.Task) -> None:
+        self.queue = queue
+        self.task = task
 
 
 class AsyncioTransport(Transport):
@@ -64,22 +112,40 @@ class AsyncioTransport(Transport):
         *,
         loop: Optional[asyncio.AbstractEventLoop] = None,
         connect_timeout: float = 2.0,
+        epoch: int = 0,
+        max_queue: int = 256,
     ) -> None:
         self._local = local
         self._on_message = on_message
         self._loop = loop if loop is not None else asyncio.get_event_loop()
         self._connect_timeout = connect_timeout
+        self._epoch = epoch
+        self._max_queue = max_queue
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: dict[NodeId, _Connection] = {}
         self._connecting: dict[NodeId, asyncio.Task] = {}
+        self._outboxes: dict[NodeId, _Outbox] = {}
+        #: Highest epoch ever claimed by each peer address.
+        self._peer_epochs: dict[NodeId, int] = {}
         self._watch_callbacks: dict[NodeId, Callable[[NodeId], None]] = {}
         self._background: set[asyncio.Task] = set()
         self._closing = False
         self.frames_sent = 0
         self.frames_received = 0
+        #: Frames dropped because their connection's epoch was superseded.
+        self.frames_stale = 0
+        #: Inbound handshakes rejected for claiming an outdated epoch.
+        self.stale_handshakes = 0
+        #: Frames rejected because the destination's outbox was full.
+        self.frames_overflow = 0
+        #: Frames rejected by :attr:`send_guard` before reaching the network.
+        self.frames_rejected = 0
         #: Chaos hook (see :data:`FaultInjector`); ``None`` = no faults.
         self.fault_injector: Optional[FaultInjector] = None
         self.frames_faulted = 0
+        #: Service hooks (see :data:`SendGuard` / :data:`SendObserver`).
+        self.send_guard: Optional[SendGuard] = None
+        self.send_observer: Optional[SendObserver] = None
 
     # ------------------------------------------------------------------
     # Transport interface
@@ -87,6 +153,14 @@ class AsyncioTransport(Transport):
     @property
     def local_address(self) -> NodeId:
         return self._local
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def peer_epoch(self, peer: NodeId) -> int:
+        """Highest epoch this transport has seen ``peer`` claim."""
+        return self._peer_epochs.get(peer, 0)
 
     def send(
         self,
@@ -97,6 +171,12 @@ class AsyncioTransport(Transport):
         # Encode here, synchronously: an unencodable message is a caller
         # bug and must surface in the caller, not in a detached task.
         frame = (json.dumps(encode_message(message)) + "\n").encode("utf-8")
+        guard = self.send_guard
+        if guard is not None and not guard(dst):
+            self.frames_rejected += 1
+            if on_failure is not None and not self._closing:
+                self._loop.call_soon(on_failure, dst, message)
+            return
         injector = self.fault_injector
         if injector is not None:
             verdict = injector(dst, message)
@@ -105,6 +185,7 @@ class AsyncioTransport(Transport):
                 return
             if verdict == "fail":
                 self.frames_faulted += 1
+                self._observe(dst, False)
                 if on_failure is not None and not self._closing:
                     self._loop.call_soon(on_failure, dst, message)
                 return
@@ -114,7 +195,7 @@ class AsyncioTransport(Transport):
                     self._delayed_send(float(verdict), dst, frame, message, on_failure)
                 )
                 return
-        self._spawn(self._send_async(dst, frame, message, on_failure))
+        self._enqueue(dst, frame, message, on_failure)
 
     def probe(self, dst: NodeId, on_result: ProbeCallback) -> None:
         injector = self.fault_injector
@@ -144,13 +225,16 @@ class AsyncioTransport(Transport):
         )
 
     async def close(self) -> None:
-        """Tear everything down: server, pool, background tasks."""
+        """Tear everything down: server, pool, outboxes, background tasks."""
         self._closing = True
         self._watch_callbacks.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for outbox in self._outboxes.values():
+            outbox.task.cancel()
+        self._outboxes.clear()
         for connection in list(self._connections.values()):
             self._close_connection(connection, notify=False)
         self._connections.clear()
@@ -163,21 +247,66 @@ class AsyncioTransport(Transport):
     # ------------------------------------------------------------------
     # Outbound path
     # ------------------------------------------------------------------
-    async def _send_async(
+    def _enqueue(
         self,
         dst: NodeId,
         frame: bytes,
         message: Message,
         on_failure: Optional[FailureCallback],
     ) -> None:
-        try:
-            connection = await self._get_connection(dst)
-            connection.writer.write(frame)
-            await connection.writer.drain()
+        if self._closing:
+            return
+        outbox = self._outboxes.get(dst)
+        if outbox is None or outbox.task.done():
+            queue: asyncio.Queue = asyncio.Queue()
+            outbox = _Outbox(queue, self._spawn(self._pump(dst, queue)))
+            self._outboxes[dst] = outbox
+        if outbox.queue.qsize() >= self._max_queue:
+            # Bulkhead: a slow/dead peer can hold at most max_queue frames.
+            # The *new* frame is the one rejected, so backpressure reaches
+            # the caller immediately instead of silently shedding old load.
+            self.frames_overflow += 1
+            if on_failure is not None:
+                self._loop.call_soon(on_failure, dst, message)
+            return
+        outbox.queue.put_nowait((frame, message, on_failure))
+
+    async def _pump(self, dst: NodeId, queue: asyncio.Queue) -> None:
+        """Drain one destination's outbox over its pooled connection."""
+        while True:
+            frame, message, on_failure = await queue.get()
+            try:
+                connection = await self._get_connection(dst)
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                # The dial failed: everything queued behind this frame
+                # would have ridden the same connection, so fail the lot
+                # (matches the old task-per-send behaviour where every
+                # queued send awaited the one shared dial).
+                self._send_failed(dst, message, on_failure)
+                while not queue.empty():
+                    _frame, queued_message, queued_cb = queue.get_nowait()
+                    self._send_failed(dst, queued_message, queued_cb)
+                continue
+            try:
+                connection.writer.write(frame)
+                await connection.writer.drain()
+            except (OSError, ConnectionError):
+                self._send_failed(dst, message, on_failure)
+                continue
             self.frames_sent += 1
-        except (OSError, asyncio.TimeoutError, ConnectionError):
-            if on_failure is not None and not self._closing:
-                on_failure(dst, message)
+            self._observe(dst, True)
+
+    def _send_failed(
+        self, dst: NodeId, message: Message, on_failure: Optional[FailureCallback]
+    ) -> None:
+        self._observe(dst, False)
+        if on_failure is not None and not self._closing:
+            on_failure(dst, message)
+
+    def _observe(self, dst: NodeId, ok: bool) -> None:
+        observer = self.send_observer
+        if observer is not None and not self._closing:
+            observer(dst, ok)
 
     async def _delayed_send(
         self,
@@ -188,7 +317,7 @@ class AsyncioTransport(Transport):
         on_failure: Optional[FailureCallback],
     ) -> None:
         await asyncio.sleep(delay)
-        await self._send_async(dst, frame, message, on_failure)
+        self._enqueue(dst, frame, message, on_failure)
 
     async def _probe_async(self, dst: NodeId, on_result: ProbeCallback) -> None:
         try:
@@ -235,9 +364,11 @@ class AsyncioTransport(Transport):
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(dst.host, dst.port), timeout=self._connect_timeout
         )
-        hello = json.dumps({"hello": self._local.to_wire()}) + "\n"
+        hello = json.dumps({"hello": self._local.to_wire(), "epoch": self._epoch}) + "\n"
         writer.write(hello.encode("utf-8"))
         await writer.drain()
+        # The peer's epoch arrives in its reply hello — the first frame it
+        # writes — and is applied by the read loop.
         connection = _Connection(dst, reader, writer)
         self._register(connection)
         return connection
@@ -253,11 +384,42 @@ class AsyncioTransport(Transport):
                 return
             hello = json.loads(hello_line)
             peer = NodeId.from_wire(hello["hello"])
+            peer_epoch = int(hello.get("epoch", 0))
         except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
             writer.close()
             return
-        connection = _Connection(peer, reader, writer)
+        if peer_epoch < self._peer_epochs.get(peer, 0):
+            # A handshake claiming an epoch this address has already moved
+            # past: the dead predecessor's half-open socket, or someone
+            # replaying its identity.  Refuse the connection entirely.
+            self.stale_handshakes += 1
+            writer.close()
+            return
+        self._note_epoch(peer, peer_epoch)
+        try:
+            reply = json.dumps({"hello": self._local.to_wire(), "epoch": self._epoch}) + "\n"
+            writer.write(reply.encode("utf-8"))
+            await writer.drain()
+        except (OSError, ConnectionError):
+            writer.close()
+            return
+        connection = _Connection(peer, reader, writer, epoch=peer_epoch)
         self._register(connection)
+
+    def _note_epoch(self, peer: NodeId, epoch: int) -> None:
+        """Record a claimed epoch; a *newer* one retires stale connections."""
+        known = self._peer_epochs.get(peer, 0)
+        if epoch <= known:
+            return
+        self._peer_epochs[peer] = epoch
+        pooled = self._connections.get(peer)
+        if pooled is not None and pooled.epoch is not None and pooled.epoch < epoch:
+            # The pool still holds a connection to the previous
+            # incarnation; retire it silently — the new incarnation's
+            # connection replaces it, this is not a peer failure.
+            del self._connections[peer]
+            pooled.closed = True
+            pooled.writer.close()
 
     def _register(self, connection: _Connection) -> None:
         previous = self._connections.get(connection.peer)
@@ -276,9 +438,30 @@ class AsyncioTransport(Transport):
                 if not line:
                     break
                 try:
-                    message = decode_message(json.loads(line))
-                except (json.JSONDecodeError, CodecError):
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
                     continue  # corrupt frame: drop, keep the connection
+                if isinstance(payload, dict) and "hello" in payload:
+                    # The acceptor's reply hello on a dialed connection:
+                    # learn the peer's epoch, dispatch nothing.
+                    try:
+                        connection.epoch = int(payload.get("epoch", 0))
+                    except (TypeError, ValueError):
+                        continue
+                    self._note_epoch(connection.peer, connection.epoch)
+                    continue
+                if (
+                    connection.epoch is not None
+                    and connection.epoch < self._peer_epochs.get(connection.peer, 0)
+                ):
+                    # This connection belongs to a superseded incarnation
+                    # of the peer; whatever it says is from the past.
+                    self.frames_stale += 1
+                    continue
+                try:
+                    message = decode_message(payload)
+                except CodecError:
+                    continue
                 self.frames_received += 1
                 self._on_message(connection.peer, message)
         except (OSError, ConnectionError, asyncio.CancelledError):

@@ -79,3 +79,51 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "resend" in out
+
+
+class TestChaosAndServiceCli:
+    """The live-runtime subcommands' argument and error surfaces.
+
+    (The happy paths open real sockets and are covered by the runtime
+    integration tests; here we pin parsing and the structured exit-2
+    error contract.)
+    """
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.nodes == 8
+        assert args.plan is None
+
+    def test_chaos_oversized_plan_is_structured_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"label": "big", "events": '
+            '[{"kind": "crash", "at": 0.1, "count": 64}]}'
+        )
+        assert main(["chaos", "--nodes", "4", "--plan", str(plan)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "64" in err and "4" in err  # needed vs. actual, for operators
+
+    def test_chaos_malformed_plan_file_is_structured_error(self, tmp_path, capsys):
+        plan = tmp_path / "bad.json"
+        plan.write_text("{this is not json")
+        assert main(["chaos", "--nodes", "4", "--plan", str(plan)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_chaos_missing_plan_file_is_structured_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["chaos", "--plan", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_service_bench_defaults(self):
+        args = build_parser().parse_args(["service-bench"])
+        assert args.nodes == 3
+        assert args.clients == 100
+        assert args.topics == 2
+        assert args.no_chaos is False
+        assert args.out is None
+
+    def test_service_bench_invalid_size_is_structured_error(self, capsys):
+        assert main(["service-bench", "--nodes", "1"]) == 2
+        assert "error:" in capsys.readouterr().err

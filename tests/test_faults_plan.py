@@ -123,6 +123,92 @@ class TestPlanValidation:
         assert [phase.name for phase in ordered] == ["a", "b"]
 
 
+class TestPlanPopulation:
+    def test_min_population_counts_explicit_victims(self):
+        plan = FaultPlan(
+            events=(
+                CrashEvent(at=0.1, count=4),
+                PartitionEvent(at=0.2, weights=(1, 1, 1)),
+                RestartEvent(at=0.3, fraction=1.0),  # scales, no floor
+            )
+        )
+        assert plan.min_population == 4
+        assert FaultPlan.empty().min_population == 0
+
+    def test_partition_groups_raise_the_floor(self):
+        plan = FaultPlan(events=(PartitionEvent(at=0.0, weights=(1, 1, 1, 1, 1)),))
+        assert plan.min_population == 5
+
+    def test_validate_for_names_offenders(self):
+        plan = FaultPlan(
+            events=(CrashEvent(at=0.1, count=9),), label="too-big"
+        )
+        plan.validate_for(9)  # exactly enough is fine
+        with pytest.raises(ConfigurationError, match="too-big") as excinfo:
+            plan.validate_for(3)
+        assert "9 nodes" in str(excinfo.value)
+        assert "crash 9" in str(excinfo.value)
+
+
+class TestPlanSerialization:
+    def test_from_dict_round_trip(self):
+        plan = FaultPlan.from_dict(
+            {
+                "label": "file-plan",
+                "events": [
+                    {"kind": "partition", "at": 0.1, "weights": [0.5, 0.5],
+                     "heal_at": 0.5, "rejoin": 2},
+                    {"kind": "crash", "at": 0.6, "count": 2},
+                    {"kind": "restart", "at": 0.8, "fraction": 1.0},
+                    {"kind": "degrade", "at": 0.2, "until": 0.4,
+                     "loss_rate": 0.1, "jitter": [0.0, 0.05]},
+                    {"kind": "adversary", "at": 0.3, "count": 1,
+                     "drop_types": ["Shuffle"], "until": 0.5},
+                ],
+            }
+        )
+        assert plan.label == "file-plan"
+        assert len(plan.events) == 5
+        assert plan.min_population == 2
+        assert isinstance(plan.events[0], PartitionEvent)
+        assert plan.events[0].weights == (0.5, 0.5)
+
+    def test_from_dict_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            FaultPlan.from_dict(["not", "a", "plan"])
+        with pytest.raises(ConfigurationError, match="kind"):
+            FaultPlan.from_dict({"events": [{"at": 0.1}]})
+        with pytest.raises(ConfigurationError, match="#0"):
+            FaultPlan.from_dict({"events": [{"kind": "explode", "at": 0.1}]})
+        with pytest.raises(ConfigurationError, match="#1"):
+            FaultPlan.from_dict(
+                {
+                    "events": [
+                        {"kind": "crash", "at": 0.1, "count": 1},
+                        {"kind": "crash", "at": 0.1, "bogus_field": 3},
+                    ]
+                }
+            )
+
+    def test_plan_from_file(self, tmp_path):
+        from repro.faults import plan_from_file
+
+        path = tmp_path / "plan.json"
+        path.write_text(
+            '{"label": "disk", "events": [{"kind": "crash", "at": 1.0, "count": 1}]}'
+        )
+        plan = plan_from_file(path)
+        assert plan.label == "disk"
+        assert isinstance(plan.events[0], CrashEvent)
+
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            plan_from_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            plan_from_file(bad)
+
+
 class TestNoOpGuarantee:
     """No plan == empty plan, byte for byte."""
 

@@ -1,0 +1,112 @@
+"""The declarative stack registry: one construction path for sim and live.
+
+``PROTOCOL_NAMES`` must be *derived* from the registry (registration order
+is the canonical protocol order), every named stack must build a working
+(membership, broadcast) pair over sans-io hosts, and the runtime subset
+must contain exactly the stacks the asyncio runtime accepts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.protocol import HyParView
+from repro.experiments.params import PROTOCOL_NAMES, ExperimentParams
+from repro.gossip.flood import FloodBroadcast
+from repro.gossip.plumtree import Plumtree
+from repro.gossip.reliable import ReliableGossip
+from repro.protocols import registry
+from repro.protocols.registry import (
+    StackSpec,
+    get_stack,
+    register_stack,
+    runtime_stack_names,
+    stack_names,
+)
+from repro.testing import World
+
+
+class TestRegistryNames:
+    def test_canonical_order_drives_protocol_names(self):
+        assert PROTOCOL_NAMES == stack_names()
+        assert stack_names()[0] == "hyparview"
+
+    def test_runtime_subset(self):
+        names = runtime_stack_names()
+        assert set(names) <= set(stack_names())
+        for name in ("hyparview", "plumtree", "hyparview-reliable"):
+            assert name in names
+        # Datagram-style stacks stay sim-only.
+        assert "cyclon" not in names
+
+    def test_unknown_stack_lists_alternatives(self):
+        with pytest.raises(ConfigurationError, match="hyparview"):
+            get_stack("no-such-stack")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_stack("hyparview")
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            register_stack(spec)
+
+    def test_late_registration_is_visible(self):
+        spec = StackSpec(
+            name="test-only-stack",
+            membership=lambda host, params: HyParView(host, params.hyparview),
+            broadcast=lambda host, membership, params, tracker, on_deliver: (
+                FloodBroadcast(host, membership, tracker, on_deliver=on_deliver)
+            ),
+        )
+        register_stack(spec)
+        try:
+            assert get_stack("test-only-stack") is spec
+            assert stack_names()[-1] == "test-only-stack"
+            assert "test-only-stack" not in runtime_stack_names()
+        finally:
+            registry._REGISTRY.pop("test-only-stack")
+
+
+class TestStackConstruction:
+    def test_every_registered_stack_builds(self):
+        params = ExperimentParams.scaled(16, seed=3)
+        for name in stack_names():
+            world = World()
+            node = world.new_node()
+            membership, broadcast = get_stack(name).build(
+                node.host("membership"), node.host("gossip"), params, world.tracker
+            )
+            assert membership.handlers()
+            assert broadcast.handlers()
+
+    def test_expected_layer_types(self):
+        params = ExperimentParams.scaled(16, seed=3)
+        expectations = {
+            "hyparview": (HyParView, FloodBroadcast),
+            "plumtree": (HyParView, Plumtree),
+            "hyparview-reliable": (HyParView, ReliableGossip),
+        }
+        for name, (membership_type, broadcast_type) in expectations.items():
+            world = World()
+            node = world.new_node()
+            membership, broadcast = get_stack(name).build(
+                node.host("membership"), node.host("gossip"), params, world.tracker
+            )
+            assert isinstance(membership, membership_type)
+            assert isinstance(broadcast, broadcast_type)
+
+    def test_on_deliver_reaches_broadcast_layer(self):
+        params = ExperimentParams.scaled(16, seed=3)
+        world = World()
+        node = world.new_node()
+        delivered = []
+        membership, broadcast = get_stack("hyparview").build(
+            node.host("membership"),
+            node.host("gossip"),
+            params,
+            world.tracker,
+            on_deliver=lambda mid, payload: delivered.append(payload),
+        )
+        node.wire("membership", membership)
+        node.wire("gossip", broadcast)
+        broadcast.broadcast("hello")
+        assert delivered == ["hello"]

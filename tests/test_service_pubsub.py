@@ -1,0 +1,195 @@
+"""Topic pub/sub over the live runtime: fan-out, budgets, restart re-attach.
+
+Real loopback sockets, small clusters — same conventions as
+``test_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import ConfigurationError, RateLimitedError, ServiceError
+from repro.core.config import HyParViewConfig
+from repro.runtime.cluster import LocalCluster
+from repro.runtime.node import RuntimeNode
+from repro.service import PubSubCluster, PubSubNode, ServiceConfig
+
+CONFIG = HyParViewConfig(
+    active_view_capacity=3,
+    passive_view_capacity=8,
+    arwl=3,
+    prwl=2,
+    neighbor_request_timeout=1.0,
+    promotion_retry_delay=0.1,
+    promotion_max_passes=10,
+)
+
+
+def run(coroutine, timeout=30.0):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout))
+
+
+class TestPubSubNode:
+    def test_requires_started_node(self):
+        node = RuntimeNode(config=CONFIG)
+        with pytest.raises(ConfigurationError, match="started"):
+            PubSubNode(node)
+
+    def test_topic_fanout_across_nodes(self):
+        async def scenario():
+            cluster = LocalCluster(3, config=CONFIG)
+            await cluster.start()
+            service = PubSubCluster(cluster)
+            ones = service.subscribe(1, "orders", client="c1")
+            twos = service.subscribe(2, "orders", client="c2")
+            other = service.subscribe(1, "audit", client="c1")
+            message_id = service.facade(0).client("c0").publish("orders", {"n": 1})
+            await cluster.wait_for_delivery(message_id, 3)
+            got_one = await ones.get(timeout=2.0)
+            got_two = await twos.get(timeout=2.0)
+            assert got_one.topic == "orders" and got_one.payload == {"n": 1}
+            assert got_two.message_id == message_id
+            assert await other.get(timeout=0.2) is None  # wrong topic
+            service.detach()
+            await cluster.stop()
+
+        run(scenario())
+
+    def test_publisher_receives_own_topic_locally(self):
+        async def scenario():
+            cluster = LocalCluster(2, config=CONFIG)
+            await cluster.start()
+            service = PubSubCluster(cluster)
+            client = service.facade(0).client("me")
+            subscription = client.subscribe("loop")
+            client.publish("loop", "hello")
+            message = await subscription.get(timeout=2.0)
+            assert message.payload == "hello"
+            service.detach()
+            await cluster.stop()
+
+        run(scenario())
+
+    def test_rate_limit_raises_and_counts(self):
+        async def scenario():
+            cluster = LocalCluster(2, config=CONFIG)
+            await cluster.start()
+            service = PubSubCluster(
+                cluster,
+                config=ServiceConfig(publish_rate=10.0, publish_burst=2.0),
+            )
+            client = service.facade(0).client("spammer")
+            client.publish("t")
+            client.publish("t")
+            with pytest.raises(RateLimitedError, match="spammer"):
+                client.publish("t")
+            assert client.rate_limited == 1
+            assert client.published == 2
+            service.detach()
+            await cluster.stop()
+
+        run(scenario())
+
+    def test_slow_subscriber_sheds_oldest(self):
+        async def scenario():
+            cluster = LocalCluster(2, config=CONFIG)
+            await cluster.start()
+            service = PubSubCluster(
+                cluster, config=ServiceConfig(subscriber_queue=2)
+            )
+            facade = service.facade(0)
+            subscription = facade.subscribe("firehose")
+            for n in range(4):  # local self-delivery fills the queue
+                facade.publish("firehose", n)
+            await asyncio.sleep(0.1)
+            assert subscription.dropped >= 1
+            assert subscription.qsize() <= 2
+            first = await subscription.get(timeout=1.0)
+            assert first.payload >= 1  # the oldest entries were shed
+            assert service.total_dropped() == subscription.dropped
+            service.detach()
+            await cluster.stop()
+
+        run(scenario())
+
+    def test_plain_broadcasts_are_ignored_not_delivered(self):
+        async def scenario():
+            cluster = LocalCluster(2, config=CONFIG)
+            await cluster.start()
+            service = PubSubCluster(cluster)
+            subscription = service.subscribe(0, "t")
+            cluster.nodes[0].broadcast("raw payload")
+            await asyncio.sleep(0.2)
+            assert service.facade(0).messages_ignored >= 1
+            assert await subscription.get(timeout=0.2) is None
+            service.detach()
+            await cluster.stop()
+
+        run(scenario())
+
+    def test_topic_and_detach_validation(self):
+        async def scenario():
+            cluster = LocalCluster(2, config=CONFIG)
+            await cluster.start()
+            facade = PubSubNode(cluster.nodes[0])
+            with pytest.raises(ServiceError, match="topic"):
+                facade.publish("")
+            facade.detach()
+            with pytest.raises(ServiceError, match="detached"):
+                facade.subscribe("t")
+            with pytest.raises(ServiceError, match="detached"):
+                facade.publish("t")
+            facade.detach()  # idempotent
+            await cluster.stop()
+
+        run(scenario())
+
+
+class TestPubSubCluster:
+    def test_restart_reattaches_fresh_facade(self):
+        async def scenario():
+            cluster = LocalCluster(3, config=CONFIG)
+            await cluster.start()
+            service = PubSubCluster(cluster)
+            old_facade = service.facade(2)
+            old_subscription = old_facade.subscribe("t")
+            await cluster.crash_node(2)
+            await cluster.restart_node(2, reuse_port=True)
+            assert service.reattached == 1
+            assert service.facade(2) is not old_facade
+            assert service.facade(2).node is cluster.nodes[2]
+            # The old facade died with its process; its subscription ended.
+            assert await old_subscription.get(timeout=0.2) is None
+            # The fresh facade serves traffic once the overlay re-admits
+            # the reborn node (some peer carries it in an active view).
+            reborn_id = cluster.nodes[2].node_id
+            deadline = asyncio.get_running_loop().time() + 8.0
+            while asyncio.get_running_loop().time() < deadline:
+                if any(
+                    reborn_id in node.active_view()
+                    for node in cluster.nodes[:2]
+                ):
+                    break
+                await asyncio.sleep(0.05)
+            subscription = service.subscribe(2, "t", client="back")
+            message_id = service.publish(0, "t", "again")
+            await cluster.wait_for_delivery(message_id, 3)
+            message = await subscription.get(timeout=2.0)
+            assert message.payload == "again"
+            service.detach()
+            await cluster.stop()
+
+        run(scenario())
+
+    def test_detach_unhooks_restart_listener(self):
+        async def scenario():
+            cluster = LocalCluster(2, config=CONFIG)
+            await cluster.start()
+            service = PubSubCluster(cluster)
+            service.detach()
+            assert cluster.restart_listeners == []
+            await cluster.stop()
+
+        run(scenario())
