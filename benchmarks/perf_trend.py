@@ -56,6 +56,13 @@ HISTORY_SCHEMA = "repro-perf-history/1"
 #: Default number of trailing history entries used as the baseline window.
 DEFAULT_WINDOW = 5
 
+#: Glyph ramp for ``--sparklines`` (kept local: this script runs in CI
+#: jobs that never install the repro package).
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: History entries rendered per sparkline (newest at the right edge).
+SPARK_LIMIT = 30
+
 
 def load_timings_dir(directory: pathlib.Path) -> dict[str, dict]:
     """All ``TIMINGS_*.json`` records under ``directory``, by scenario id.
@@ -200,6 +207,68 @@ def load_history(
     return runs[-window:] if window > 0 else runs
 
 
+def _spark(values: Sequence[float]) -> str:
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_CHARS[0] * len(values)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((value - lo) / (hi - lo) * len(SPARK_CHARS)))]
+        for value in values
+    )
+
+
+def sparkline_section(
+    history: Sequence[dict[str, dict]],
+    current: dict[str, dict],
+    limit: int = SPARK_LIMIT,
+) -> list[str]:
+    """Markdown lines trending each scenario across the committed history.
+
+    ``history`` is oldest-first (the order ``load_history`` preserves from
+    ``perf_history.jsonl``); the current run lands at the right edge of
+    every sparkline.  Scenarios with fewer than two comparable samples are
+    skipped — one dot is not a trend.  For ``seconds`` metrics a *rising*
+    sparkline means the suite got slower; for ``events/s``, faster.
+    """
+    runs = [run for run in history if run][-limit:] + [current]
+    lines = [
+        "",
+        f"### Per-scenario history (last {len(runs)} runs, newest right)",
+        "",
+        "| scenario | trend | current | range |",
+        "| --- | --- | --- | --- |",
+    ]
+    rendered = 0
+    for scenario in sorted(set().union(*runs)):
+        kind = "none"
+        for run in reversed(runs):
+            record = run.get(scenario)
+            if record is not None:
+                _value, kind = _metric(record)
+                break
+        values = []
+        for run in runs:
+            record = run.get(scenario)
+            if record is None:
+                continue
+            value, record_kind = _metric(record)
+            if value is not None and record_kind == kind:
+                values.append(value)
+        if len(values) < 2:
+            continue
+        rendered += 1
+        lines.append(
+            f"| {scenario} | `{_spark(values)}` "
+            f"| {_format_value(values[-1], kind)} "
+            f"| {_format_value(min(values), kind)} – "
+            f"{_format_value(max(values), kind)} |"
+        )
+    if not rendered:
+        return []
+    return lines
+
+
 def compare(
     current: dict[str, dict],
     previous: dict[str, dict] | Sequence[dict[str, dict]],
@@ -316,6 +385,9 @@ def main(argv=None) -> int:
                         help="commit sha recorded with --record-history")
     parser.add_argument("--run-id", default=None,
                         help="workflow run id recorded with --record-history")
+    parser.add_argument("--sparklines", action="store_true",
+                        help="append per-scenario sparkline trends rendered "
+                        "from the full --history file to the summary")
     parser.add_argument("--summary", type=pathlib.Path, default=None,
                         help="file to append the markdown table to "
                         "(pass \"$GITHUB_STEP_SUMMARY\" in CI)")
@@ -349,6 +421,10 @@ def main(argv=None) -> int:
         history = [run for run in history if run]
 
     lines, warnings = compare(current, history, threshold=args.threshold)
+    if args.sparklines and args.history is not None:
+        # Sparklines read the *whole* committed history, not the baseline
+        # window — the point is the long arc, not the last few runs.
+        lines.extend(sparkline_section(load_history(args.history, window=0), current))
     emit(lines, args.summary)
     for warning in warnings:
         # GitHub annotation syntax; visible on the run page and the PR.

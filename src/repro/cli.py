@@ -364,7 +364,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     # commands never need.
     import asyncio
 
-    from .faults.chaos import ChaosController
+    from .faults.chaos import ChaosController, reject_simulator_only
     from .faults.plan import (
         CrashEvent,
         FaultPlan,
@@ -388,6 +388,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     # Reject impossible plans before a single socket is opened — the
     # structured ConfigurationError surfaces as `error: ...`, exit 2.
     plan.validate_for(args.nodes)
+    reject_simulator_only(plan)
 
     async def demo() -> list[list[object]]:
         cluster = LocalCluster(args.nodes, base_seed=args.seed)

@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..common.errors import ConfigurationError
 from ..core.config import HyParViewConfig
+from ..gossip.byzantine import BRBConfig
 from ..gossip.plumtree import PlumtreeConfig
 from ..gossip.reliable import ReliableConfig
 from ..protocols.cyclon import CyclonConfig
@@ -47,6 +48,9 @@ class ExperimentParams:
     cyclon: CyclonConfig = field(default_factory=CyclonConfig)
     scamp: ScampConfig = field(default_factory=ScampConfig)
     reliable: ReliableConfig = field(default_factory=ReliableConfig)
+    #: Byzantine broadcast tuning (quorum mode, assumed fault fraction,
+    #: phase ack/retransmit knobs) for the ``*-brb`` stacks.
+    brb: BRBConfig = field(default_factory=BRBConfig)
     #: Plumtree tuning; ``None`` uses the layer's defaults (the published
     #: setting).  Carried here so the stack registry can build plumtree
     #: stacks from one parameter object in both substrates.

@@ -1319,3 +1319,4 @@ register(
 # registers through the machinery defined above.
 # ----------------------------------------------------------------------
 from ..faults import scenarios as _fault_scenarios  # noqa: E402,F401  (registration side effect)
+from ..faults import byzantine as _byz_scenarios  # noqa: E402,F401  (registration side effect)

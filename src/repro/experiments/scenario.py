@@ -34,6 +34,19 @@ from ..sim.node import SimNode
 from .params import PROTOCOL_NAMES, ExperimentParams
 
 
+class _RecorderCallback:
+    """Per-node ``on_deliver`` shim feeding a scenario-wide recorder."""
+
+    __slots__ = ("recorder", "node_id")
+
+    def __init__(self, recorder, node_id: NodeId) -> None:
+        self.recorder = recorder
+        self.node_id = node_id
+
+    def __call__(self, message_id, payload) -> None:
+        self.recorder.note(self.node_id, message_id, payload)
+
+
 class Scenario:
     """One simulated deployment of ``params.n`` nodes running ``protocol``."""
 
@@ -61,6 +74,9 @@ class Scenario:
         self.tracker = BroadcastTracker()
         self.node_ids: list[NodeId] = simulated_node_ids(self.params.n)
         self._rng = self.seeds.stream("harness")
+        # Optional per-delivery recorder (see set_delivery_recorder); set
+        # before the node loop so _build_stack can consult it.
+        self._delivery_recorder = None
         self.nodes: dict[NodeId, SimNode] = {}
         for node_id in self.node_ids:
             node = SimNode(node_id, self.network)
@@ -82,6 +98,32 @@ class Scenario:
         )
         node.wire("membership", membership)
         node.wire("gossip", broadcast)
+        # Quorum layers need the full membership *set*, which the partial
+        # views deliberately never provide; the harness owns the roster.
+        set_roster = getattr(broadcast, "set_roster", None)
+        if set_roster is not None:
+            set_roster(self.node_ids)
+        if self._delivery_recorder is not None:
+            broadcast._on_deliver = _RecorderCallback(
+                self._delivery_recorder, node.node_id
+            )
+
+    def set_delivery_recorder(self, recorder) -> None:
+        """Route every broadcast delivery to ``recorder.note(node_id,
+        message_id, payload)`` — including deliveries on stacks rebuilt by
+        later ``revive_node`` calls.
+
+        The tracker sees message *ids*; measurements that must judge
+        delivered *values* (Byzantine mutation/equivocation runs) need the
+        payloads.  ``None`` detaches.  Recorders are installed post-thaw
+        on measurement checkouts, never frozen into snapshots.
+        """
+        self._delivery_recorder = recorder
+        for node_id in self.node_ids:
+            layer = self.broadcast_layer(node_id)
+            layer._on_deliver = (
+                _RecorderCallback(recorder, node_id) if recorder is not None else None
+            )
 
     # ------------------------------------------------------------------
     # Accessors

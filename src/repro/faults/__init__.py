@@ -15,11 +15,14 @@ registry is imported.
 
 from .measure import measure_fault_plan
 from .plan import (
+    DEFAULT_MUTATION_TYPES,
     AdversaryEvent,
+    CollusionEvent,
     CrashEvent,
     DegradeEvent,
     FaultEvent,
     FaultPlan,
+    MutationEvent,
     PartitionEvent,
     Phase,
     RestartEvent,
@@ -30,10 +33,13 @@ from .sim import SimFaultDriver
 
 __all__ = [
     "AdversaryEvent",
+    "CollusionEvent",
     "CrashEvent",
+    "DEFAULT_MUTATION_TYPES",
     "DegradeEvent",
     "FaultEvent",
     "FaultPlan",
+    "MutationEvent",
     "PartitionEvent",
     "Phase",
     "RestartEvent",

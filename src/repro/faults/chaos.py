@@ -33,10 +33,12 @@ from ..metrics.latency import LatencyHistogram
 from ..runtime.cluster import LocalCluster
 from .plan import (
     AdversaryEvent,
+    CollusionEvent,
     CrashEvent,
     DegradeEvent,
     FaultEvent,
     FaultPlan,
+    MutationEvent,
     PartitionEvent,
     Phase,
     RestartEvent,
@@ -44,6 +46,30 @@ from .plan import (
     split_weighted,
     validate_phases,
 )
+
+
+def reject_simulator_only(plan: FaultPlan) -> None:
+    """Reject plan events the live substrate cannot honour.
+
+    Payload corruption is simulator-only: the runtime codec owns its
+    frames end-to-end, so a mutation/equivocation plan against live
+    sockets would silently test nothing.  Raises the same structured
+    :class:`ConfigurationError` the CLI turns into exit 2, so callers can
+    refuse *before* a single socket is opened.  (Drop-based collusion is
+    fine — it compiles to ``drop_message_types`` like an adversary.)
+    """
+    unsupported = [
+        event.describe()
+        for event in plan.events
+        if isinstance(event, MutationEvent)
+        or (isinstance(event, CollusionEvent) and event.mutate_types)
+    ]
+    if unsupported:
+        raise ConfigurationError(
+            f"plan {plan.label!r} uses payload mutation/equivocation, "
+            f"which only the simulator substrate supports (live "
+            f"collusion is drop-only); offending events: {unsupported}"
+        )
 
 
 class _DegradeWindow:
@@ -74,6 +100,7 @@ class ChaosController:
         # Fail here, at construction, when the plan names more nodes than
         # the cluster has — not at apply time inside victim sampling.
         plan.validate_for(len(cluster.nodes))
+        reject_simulator_only(plan)
         self.cluster = cluster
         self.plan = plan
         self.time_scale = time_scale
@@ -121,7 +148,10 @@ class ChaosController:
             steps.append((event.at, order, (self._apply, event)))
             if isinstance(event, PartitionEvent) and event.heal_at is not None:
                 steps.append((event.heal_at, order, (self._heal, event)))
-            if isinstance(event, AdversaryEvent) and event.until is not None:
+            if (
+                isinstance(event, (AdversaryEvent, CollusionEvent))
+                and event.until is not None
+            ):
                 steps.append((event.until, order, (self._honest, event)))
         steps.sort(key=lambda step: (step[0], step[1]))
         for at, _order, (method, event) in steps:
@@ -208,6 +238,18 @@ class ChaosController:
                 node.drop_message_types |= set(event.drop_types)
             self._adversary_victims[id(event)] = victims
             self._note(event.at, f"{event.describe()} -> {len(victims)} adversarial")
+        elif isinstance(event, CollusionEvent):
+            # Live collusion is drop-only (the constructor rejected any
+            # mutate_types) and blanket: RuntimeNode's drop filter has no
+            # per-sender sparing, so colluders drop from everyone — a
+            # strictly harsher adversary than the sim's spared variant.
+            alive = self.cluster.alive_nodes()
+            count = self._amount(event.fraction, event.count, len(alive))
+            victims = self._rng.sample(alive, count) if count else []
+            for node in victims:
+                node.drop_message_types |= set(event.drop_types)
+            self._adversary_victims[id(event)] = victims
+            self._note(event.at, f"{event.describe()} -> {len(victims)} colluding")
         else:  # pragma: no cover - vocabulary guard
             raise ConfigurationError(f"unknown fault event: {event!r}")
 

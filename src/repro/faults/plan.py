@@ -31,6 +31,14 @@ The vocabulary:
 :class:`AdversaryEvent`   turn a fraction of live nodes into misbehaving
                           peers that silently ignore selected message types
                           (e.g. SHUFFLE / FORWARDJOIN), optionally recovering
+:class:`MutationEvent`    turn live nodes into Byzantine *senders* that
+                          corrupt outgoing payloads of selected message
+                          types; ``equivocate=True`` sends a *different*
+                          corrupted payload to each destination (the JSON
+                          kind ``"equivocation"`` is this with the flag on)
+:class:`CollusionEvent`   recruit a coordinated adversary *set* whose
+                          members drop and/or mutate selected traffic from
+                          and to outsiders while sparing fellow colluders
 ========================  ====================================================
 
 An **empty plan is a strict no-op**: drivers install nothing, draw no
@@ -234,6 +242,109 @@ class AdversaryEvent(FaultEvent):
         return f"adversary {amount} drop{list(self.drop_types)}@{self.at:g}"
 
 
+#: Message types the Byzantine sender events corrupt by default: the
+#: payload-bearing gossip frame plus every BRB phase frame that carries a
+#: value or a vote.  Types an overlay never speaks are inert.
+DEFAULT_MUTATION_TYPES = ("GossipData", "BRBSend", "BRBEcho", "BRBReady")
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 < rate <= 1.0:
+        raise ConfigurationError(f"rate must be in (0, 1]: {rate}")
+
+
+def _check_until(at: float, until: Optional[float], what: str) -> None:
+    if until is not None and until <= at:
+        raise ConfigurationError(
+            f"{what} window must be non-empty: until {until} <= at {at}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MutationEvent(FaultEvent):
+    """Turn live nodes into Byzantine senders that corrupt payloads.
+
+    Selected nodes stay alive, receive and route normally, but every
+    outgoing message whose type name is in ``target_types`` leaves with a
+    corrupted payload (or vote digest).  Plain mutation corrupts
+    *consistently* — every recipient of one ``(sender, message)`` pair
+    sees the same wrong value; ``equivocate=True`` is the stronger
+    Byzantine behaviour of sending a *different* value to each peer for
+    the same :class:`~repro.common.ids.MessageId`.  ``rate`` corrupts
+    only that fraction of matching sends; ``until`` restores honesty.
+    Sender-side payload corruption only exists on the simulator substrate
+    (the live runtime's codec owns its frames end-to-end).
+    """
+
+    fraction: Optional[float] = None
+    count: Optional[int] = None
+    target_types: tuple[str, ...] = DEFAULT_MUTATION_TYPES
+    rate: float = 1.0
+    equivocate: bool = False
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_population(self.fraction, self.count)
+        if not self.target_types:
+            raise ConfigurationError("mutation needs at least one message type")
+        _check_rate(self.rate)
+        _check_until(self.at, self.until, "mutation")
+
+    @property
+    def end(self) -> float:
+        return self.until if self.until is not None else self.at
+
+    def describe(self) -> str:
+        amount = f"{self.fraction:.0%}" if self.fraction is not None else str(self.count)
+        verb = "equivocate" if self.equivocate else "mutate"
+        return f"{verb} {amount} on{list(self.target_types)}@{self.at:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class CollusionEvent(FaultEvent):
+    """Recruit a coordinated adversary *set*.
+
+    The colluders act as one: they silently drop incoming ``drop_types``
+    traffic from outsiders, corrupt outgoing ``mutate_types`` payloads
+    sent to outsiders, and always spare fellow colluders — so the
+    adversary set keeps perfect mutual state while sabotaging everyone
+    else.  At least one of the two behaviours must be named.  The drop
+    dimension runs on both substrates; mutation is simulator-only (see
+    :class:`MutationEvent`).
+    """
+
+    fraction: Optional[float] = None
+    count: Optional[int] = None
+    drop_types: tuple[str, ...] = ()
+    mutate_types: tuple[str, ...] = ()
+    rate: float = 1.0
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_population(self.fraction, self.count)
+        if not self.drop_types and not self.mutate_types:
+            raise ConfigurationError(
+                "collusion needs drop_types and/or mutate_types"
+            )
+        _check_rate(self.rate)
+        _check_until(self.at, self.until, "collusion")
+
+    @property
+    def end(self) -> float:
+        return self.until if self.until is not None else self.at
+
+    def describe(self) -> str:
+        amount = f"{self.fraction:.0%}" if self.fraction is not None else str(self.count)
+        parts = []
+        if self.drop_types:
+            parts.append(f"drop{list(self.drop_types)}")
+        if self.mutate_types:
+            parts.append(f"mutate{list(self.mutate_types)}")
+        return f"collude {amount} {'+'.join(parts)}@{self.at:g}"
+
+
 @dataclass(frozen=True, slots=True)
 class FaultPlan:
     """An immutable, ordered timeline of fault events.
@@ -352,8 +463,13 @@ class FaultPlan:
             "crash": CrashEvent,
             "restart": RestartEvent,
             "adversary": AdversaryEvent,
+            "mutation": MutationEvent,
+            # Equivocation is mutation with per-destination divergence
+            # pre-selected; an explicit "equivocate" key still wins.
+            "equivocation": MutationEvent,
+            "collusion": CollusionEvent,
         }
-        tuple_fields = ("weights", "jitter", "drop_types")
+        tuple_fields = ("weights", "jitter", "drop_types", "target_types", "mutate_types")
         events: list[FaultEvent] = []
         for index, entry in enumerate(data.get("events", ())):
             if not isinstance(entry, dict) or "kind" not in entry:
@@ -371,6 +487,8 @@ class FaultPlan:
             for name in tuple_fields:
                 if isinstance(fields.get(name), list):
                     fields[name] = tuple(fields[name])
+            if kind == "equivocation":
+                fields.setdefault("equivocate", True)
             try:
                 events.append(event_class(**fields))
             except TypeError as error:
@@ -460,10 +578,13 @@ def validate_phases(phases: Sequence[Phase]) -> tuple[Phase, ...]:
 
 __all__ = [
     "AdversaryEvent",
+    "CollusionEvent",
     "CrashEvent",
+    "DEFAULT_MUTATION_TYPES",
     "DegradeEvent",
     "FaultEvent",
     "FaultPlan",
+    "MutationEvent",
     "PartitionEvent",
     "Phase",
     "RestartEvent",

@@ -20,13 +20,15 @@ from typing import TYPE_CHECKING, Optional
 
 from ..common.errors import ConfigurationError
 from ..common.ids import NodeId
-from ..sim.network import LinkFaultRule
+from ..sim.network import ByzantineBehavior, LinkFaultRule
 from .plan import (
     AdversaryEvent,
+    CollusionEvent,
     CrashEvent,
     DegradeEvent,
     FaultEvent,
     FaultPlan,
+    MutationEvent,
     PartitionEvent,
     RestartEvent,
     pick_count,
@@ -75,6 +77,10 @@ class SimFaultDriver:
             self._apply_restart(event)
         elif isinstance(event, AdversaryEvent):
             self._apply_adversary(event)
+        elif isinstance(event, MutationEvent):
+            self._apply_mutation(event)
+        elif isinstance(event, CollusionEvent):
+            self._apply_collusion(event)
         else:  # pragma: no cover - vocabulary guard
             raise ConfigurationError(f"unknown fault event: {event!r}")
 
@@ -168,6 +174,48 @@ class SimFaultDriver:
         for node_id in victims:
             network.set_adversary(node_id, ())
         self._note(f"adversary cleared ({len(victims)})")
+
+    def _apply_mutation(self, event: MutationEvent) -> None:
+        scenario = self.scenario
+        victims = self._pick(scenario.alive_ids(), event.fraction, event.count)
+        for node_id in victims:
+            scenario.network.set_byzantine(
+                node_id,
+                ByzantineBehavior(
+                    event.target_types, rate=event.rate, equivocate=event.equivocate
+                ),
+            )
+        self._note(f"{event.describe()} -> {len(victims)} byzantine")
+        if event.until is not None:
+            scenario.engine.schedule_at(
+                self.start + event.until, self._clear_byzantine, tuple(victims)
+            )
+
+    def _clear_byzantine(self, victims: tuple[NodeId, ...]) -> None:
+        network = self.scenario.network
+        for node_id in victims:
+            network.set_byzantine(node_id, None)
+        self._note(f"byzantine cleared ({len(victims)})")
+
+    def _apply_collusion(self, event: CollusionEvent) -> None:
+        scenario = self.scenario
+        victims = self._pick(scenario.alive_ids(), event.fraction, event.count)
+        if victims:
+            scenario.network.set_collusion(
+                victims,
+                drop_types=event.drop_types,
+                mutate_types=event.mutate_types,
+                rate=event.rate,
+            )
+        self._note(f"{event.describe()} -> {len(victims)} colluding")
+        if event.until is not None:
+            scenario.engine.schedule_at(
+                self.start + event.until, self._clear_collusion, tuple(victims)
+            )
+
+    def _clear_collusion(self, victims: tuple[NodeId, ...]) -> None:
+        self.scenario.network.clear_collusion(victims)
+        self._note(f"collusion cleared ({len(victims)})")
 
 
 __all__ = ["SimFaultDriver"]

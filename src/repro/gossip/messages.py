@@ -38,6 +38,61 @@ class GossipAck(Message):
     sender: NodeId
 
 
+@register_message("brb.send")
+@dataclass(frozen=True, slots=True)
+class BRBSend(Message):
+    """Phase 1 of Bracha broadcast: the origin's payload announcement.
+
+    Sent point-to-point to the whole roster (both quorum modes), so a
+    mutated relay can never split honest echo votes — payload corruption
+    is strictly a Byzantine-*sender* behaviour, matching Bracha's model.
+    """
+
+    message_id: MessageId
+    payload: Any
+    sender: NodeId
+
+
+@register_message("brb.echo")
+@dataclass(frozen=True, slots=True)
+class BRBEcho(Message):
+    """Phase 2: a witness vote for one payload digest.
+
+    Carries the digest rather than the payload, so the quadratic echo
+    phase stays cheap and an equivocating origin's two payloads produce
+    two disjoint vote sets that cannot both reach a quorum.
+    """
+
+    message_id: MessageId
+    digest: str
+    sender: NodeId
+
+
+@register_message("brb.ready")
+@dataclass(frozen=True, slots=True)
+class BRBReady(Message):
+    """Phase 3: a delivery commitment for one payload digest."""
+
+    message_id: MessageId
+    digest: str
+    sender: NodeId
+
+
+@register_message("brb.ack")
+@dataclass(frozen=True, slots=True)
+class BRBAck(Message):
+    """Per-copy ack of one BRB phase message (``phase`` in send/echo/ready).
+
+    Sent for every received copy — duplicates included — exactly like
+    :class:`GossipAck`: the acked copy may be a retransmission whose
+    earlier ack was lost.
+    """
+
+    message_id: MessageId
+    phase: str
+    sender: NodeId
+
+
 @register_message("plumtree.gossip")
 @dataclass(frozen=True, slots=True)
 class PlumtreeGossip(Message):

@@ -38,6 +38,7 @@ from typing import Any, Callable, Optional
 from ..common.errors import ConfigurationError
 from ..common.interfaces import Host
 from ..core.protocol import HyParView
+from ..gossip.byzantine import BRBGossip
 from ..gossip.eager import EagerGossip
 from ..gossip.flood import FloodBroadcast
 from ..gossip.plumtree import Plumtree
@@ -187,6 +188,32 @@ register_stack(StackSpec(
         ack_timeout=params.reliable.ack_timeout,
         backoff=params.reliable.backoff,
         max_retries=params.reliable.max_retries,
+        on_deliver=on_deliver,
+    ),
+))
+
+
+# Bracha/SBRB Byzantine reliable broadcast over the acked-datagram
+# discipline, with HyParView supplying the failure-repair substrate.  The
+# harness injects the full roster post-construction (set_roster) — quorum
+# thresholds are roster-relative, which a partial-view overlay cannot
+# provide by design.
+register_stack(StackSpec(
+    name="hyparview-brb",
+    membership=lambda host, params: HyParView(host, params.hyparview),
+    broadcast=lambda host, membership, params, tracker, on_deliver: BRBGossip(
+        host, membership, tracker,
+        config=getattr(params, "brb", None),
+        on_deliver=on_deliver,
+    ),
+))
+
+register_stack(StackSpec(
+    name="cyclon-brb",
+    membership=lambda host, params: CyclonAcked(host, params.cyclon),
+    broadcast=lambda host, membership, params, tracker, on_deliver: BRBGossip(
+        host, membership, tracker,
+        config=getattr(params, "brb", None),
         on_deliver=on_deliver,
     ),
 ))

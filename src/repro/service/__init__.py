@@ -5,7 +5,7 @@ See :mod:`repro.service.pubsub` for the facade and
 circuit breakers, the per-peer guard).
 """
 
-from .limits import BreakerConfig, CircuitBreaker, PeerGuard, TokenBucket
+from .limits import BreakerConfig, CircuitBreaker, PeerGuard, TokenBucket, TopicBuckets
 from .pubsub import (
     PubSubClient,
     PubSubCluster,
@@ -26,4 +26,5 @@ __all__ = [
     "Subscription",
     "TopicMessage",
     "TokenBucket",
+    "TopicBuckets",
 ]

@@ -72,6 +72,40 @@ class TokenBucket:
         return min(self.burst, self._tokens + (now - self._updated) * self.rate)
 
 
+class TopicBuckets:
+    """One lazily-created :class:`TokenBucket` per key, shared tuning.
+
+    The per-*topic* counterpart of the per-client buckets: a hot topic
+    exhausts its own budget without starving the others, and a key that
+    never publishes never allocates a bucket.
+    """
+
+    __slots__ = ("rate", "burst", "_buckets")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"token rate must be positive: {rate}")
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1 token: {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket(self, key: str) -> TokenBucket:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst)
+            self._buckets[key] = bucket
+        return bucket
+
+    def allow(self, key: str, now: float, tokens: float = 1.0) -> bool:
+        return self.bucket(key).allow(now, tokens)
+
+    def denied(self) -> int:
+        """Total denials across all keys."""
+        return sum(bucket.denied for bucket in self._buckets.values())
+
+
 @dataclass(frozen=True, slots=True)
 class BreakerConfig:
     """Tuning for one :class:`CircuitBreaker`."""
@@ -245,6 +279,7 @@ __all__ = [
     "CircuitBreaker",
     "PeerGuard",
     "TokenBucket",
+    "TopicBuckets",
     "CLOSED",
     "OPEN",
     "HALF_OPEN",

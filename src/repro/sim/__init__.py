@@ -3,12 +3,13 @@
 from .clock import SimClock
 from .engine import Engine, EventHandle, PeriodicTask
 from .latency import ConstantLatency, CoordinateLatency, LatencyModel, UniformLatency
-from .network import Network, NetworkStats
+from .network import ByzantineBehavior, Network, NetworkStats
 from .node import SimNode
 from .transport import SimTransport
 from .trace import EventTrace, TraceRecord
 
 __all__ = [
+    "ByzantineBehavior",
     "ConstantLatency",
     "CoordinateLatency",
     "Engine",

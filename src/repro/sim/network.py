@@ -20,16 +20,25 @@ transport assumptions:
   the substrate :mod:`repro.faults` plans compile onto;
 * **adversaries** are registered nodes that silently ignore selected
   message types (e.g. SHUFFLE / FORWARDJOIN) while behaving normally on
-  the wire — the misbehaving-peer model of the fault-injection subsystem.
+  the wire — the misbehaving-peer model of the fault-injection subsystem;
+* **Byzantine senders** (:class:`ByzantineBehavior`) corrupt outgoing
+  payloads of selected message types — consistently per ``(sender,
+  message)`` for plain mutation (a pure hash, zero RNG draws at full
+  rate), or freshly per destination for *equivocation*; **collusion
+  sets** additionally drop selected traffic from outsiders while sparing
+  fellow colluders.  Together these are the adversary model the
+  Byzantine broadcast layer (:mod:`repro.gossip.byzantine`) is measured
+  against.
 
-All fault hooks are strictly pay-for-what-you-use: with no rules and no
-adversaries installed the send path performs the exact same RNG draws and
-event posts as before they existed, so empty fault plans leave artifacts
-byte-identical.
+All fault hooks are strictly pay-for-what-you-use: with no rules, no
+adversaries and no Byzantine senders installed the send path performs the
+exact same RNG draws and event posts as before they existed, so empty
+fault plans leave artifacts byte-identical.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import random
 from collections import Counter
@@ -63,6 +72,9 @@ class NetworkStats:
         "dropped_fault",
         "duplicated_fault",
         "dropped_adversary",
+        "dropped_collusion",
+        "mutated_byz",
+        "equivocated_byz",
         "send_failures",
         "probes_ok",
         "probes_failed",
@@ -80,6 +92,9 @@ class NetworkStats:
         self.dropped_fault = 0
         self.duplicated_fault = 0
         self.dropped_adversary = 0
+        self.dropped_collusion = 0
+        self.mutated_byz = 0
+        self.equivocated_byz = 0
         self.send_failures = 0
         self.probes_ok = 0
         self.probes_failed = 0
@@ -95,6 +110,9 @@ class NetworkStats:
             "dropped_fault": self.dropped_fault,
             "duplicated_fault": self.duplicated_fault,
             "dropped_adversary": self.dropped_adversary,
+            "dropped_collusion": self.dropped_collusion,
+            "mutated_byz": self.mutated_byz,
+            "equivocated_byz": self.equivocated_byz,
             "send_failures": self.send_failures,
             "probes_ok": self.probes_ok,
             "probes_failed": self.probes_failed,
@@ -172,6 +190,37 @@ class LinkFaultRule:
         return member
 
 
+class ByzantineBehavior:
+    """One Byzantine sender's corruption policy (see the module docstring).
+
+    ``mutate_types`` names the message types whose outgoing payloads (or
+    vote digests) get corrupted; ``rate`` corrupts only that fraction of
+    matching sends (1.0 draws nothing extra for the gate); ``equivocate``
+    switches from consistent per-``(sender, message)`` corruption to a
+    fresh value per destination; ``spare`` destinations (fellow
+    colluders) always receive the genuine frame.
+    """
+
+    __slots__ = ("mutate_types", "rate", "equivocate", "spare")
+
+    def __init__(
+        self,
+        mutate_types: Iterable[str],
+        *,
+        rate: float = 1.0,
+        equivocate: bool = False,
+        spare: Iterable[NodeId] = (),
+    ) -> None:
+        self.mutate_types = frozenset(mutate_types)
+        if not self.mutate_types:
+            raise SimulationError("Byzantine sender needs at least one message type")
+        if not 0.0 < rate <= 1.0:
+            raise SimulationError(f"mutation rate must be in (0, 1]: {rate}")
+        self.rate = rate
+        self.equivocate = equivocate
+        self.spare = frozenset(spare)
+
+
 class Network:
     """Registry of simulated nodes plus the message-passing fabric."""
 
@@ -202,6 +251,10 @@ class Network:
         # rules draw from (created lazily so unfaulted runs never touch it).
         self._link_rules: list[LinkFaultRule] = []
         self._adversaries: dict[NodeId, frozenset[str]] = {}
+        # Byzantine-sender hooks: per-node corruption policies and the
+        # colluders' receiver-side drop filters (drop_types, spared set).
+        self._byzantine: dict[NodeId, ByzantineBehavior] = {}
+        self._collusion_drops: dict[NodeId, tuple[frozenset[str], frozenset[NodeId]]] = {}
         self._fault_rng: Optional[random.Random] = None
         # watched node -> {watcher -> callback}: the open-TCP-connection
         # registry behind Transport.watch (see module docstring).
@@ -279,6 +332,10 @@ class Network:
             raise UnknownNodeError(f"unknown node: {node_id}")
         self._alive.add(node_id)
         self._adversaries.pop(node_id, None)
+        # Byzantine registrations die with the old process too: the
+        # restarted incarnation is honest until a plan corrupts it again.
+        self._byzantine.pop(node_id, None)
+        self._collusion_drops.pop(node_id, None)
 
     # ------------------------------------------------------------------
     # Partitions
@@ -343,6 +400,65 @@ class Network:
     def adversaries(self) -> dict[NodeId, frozenset[str]]:
         return dict(self._adversaries)
 
+    def set_byzantine(
+        self, node_id: NodeId, behavior: Optional[ByzantineBehavior]
+    ) -> None:
+        """Install (or with ``None`` remove) a sender corruption policy.
+
+        The first registration creates the dedicated ``network/faults``
+        RNG stream (shared with the link rules); derived-by-label streams
+        never perturb any other stream, so honest runs stay byte-identical.
+        """
+        if node_id not in self._nodes:
+            raise UnknownNodeError(f"unknown node: {node_id}")
+        if behavior is None:
+            self._byzantine.pop(node_id, None)
+            return
+        if self._fault_rng is None:
+            self._fault_rng = self.seeds.stream("network/faults")
+        self._byzantine[node_id] = behavior
+
+    def set_collusion(
+        self,
+        members: Iterable[NodeId],
+        *,
+        drop_types: Iterable[str] = (),
+        mutate_types: Iterable[str] = (),
+        rate: float = 1.0,
+    ) -> None:
+        """Recruit ``members`` as one coordinated adversary set.
+
+        Members drop incoming ``drop_types`` frames from outsiders and
+        corrupt outgoing ``mutate_types`` payloads to outsiders — fellow
+        colluders are always spared on both dimensions.
+        """
+        spared = frozenset(members)
+        for node_id in spared:
+            if node_id not in self._nodes:
+                raise UnknownNodeError(f"unknown node: {node_id}")
+        drops = frozenset(drop_types)
+        mutates = frozenset(mutate_types)
+        if not drops and not mutates:
+            raise SimulationError("collusion needs drop_types and/or mutate_types")
+        for node_id in spared:
+            if mutates:
+                self.set_byzantine(
+                    node_id,
+                    ByzantineBehavior(mutates, rate=rate, spare=spared),
+                )
+            if drops:
+                self._collusion_drops[node_id] = (drops, spared)
+
+    def clear_collusion(self, members: Iterable[NodeId]) -> None:
+        """Restore honesty for ``members`` (both collusion dimensions)."""
+        for node_id in members:
+            self._byzantine.pop(node_id, None)
+            self._collusion_drops.pop(node_id, None)
+
+    def byzantine_ids(self) -> set[NodeId]:
+        """Nodes currently running a corruption or collusion policy."""
+        return set(self._byzantine) | set(self._collusion_drops)
+
     def _degrade(
         self, src: NodeId, dst: NodeId, delay: float, reliable: bool
     ) -> tuple[float, bool, int]:
@@ -382,6 +498,49 @@ class Network:
                 if rule.until is None or now < rule.until
             ]
         return delay, dropped, duplicates
+
+    def _corrupt(self, src: NodeId, dst: NodeId, message: Message) -> Message:
+        """Apply ``src``'s Byzantine sender policy to one outgoing frame.
+
+        Only called when at least one policy is installed.  Plain
+        mutation derives its wrong value as a pure hash of ``(sender,
+        message id)`` — consistent across destinations and free of RNG
+        draws at rate 1.0; equivocation draws a fresh value per
+        destination from the fault stream.
+        """
+        behavior = self._byzantine.get(src)
+        if behavior is None or dst in behavior.spare:
+            return message
+        if type(message).__name__ not in behavior.mutate_types:
+            return message
+        if behavior.rate < 1.0 and self._fault_rng.random() >= behavior.rate:
+            return message
+        if behavior.equivocate:
+            token = self._fault_rng.getrandbits(32)
+            self.stats.equivocated_byz += 1
+        else:
+            key = f"byz/{src.host}:{src.port}/{getattr(message, 'message_id', message)}"
+            token = int.from_bytes(hashlib.sha256(key.encode()).digest()[:4], "big")
+            self.stats.mutated_byz += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "mutate-byz", src, dst, message)
+        if hasattr(message, "payload"):
+            return dataclasses.replace(message, payload=("byz", token))
+        if hasattr(message, "digest"):
+            return dataclasses.replace(message, digest=f"byz:{token:08x}")
+        return message  # type carries no corruptible field: inert
+
+    def _collusion_blocks(self, src: NodeId, dst: NodeId, message: Message) -> bool:
+        entry = self._collusion_drops.get(dst)
+        if entry is None:
+            return False
+        drops, spared = entry
+        if src in spared or type(message).__name__ not in drops:
+            return False
+        self.stats.dropped_collusion += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "drop-collusion", src, dst, message)
+        return True
 
     def _adversary_drops(self, dst: NodeId, message: Message) -> bool:
         drops = self._adversaries.get(dst)
@@ -425,6 +584,8 @@ class Network:
         stats.messages_by_type[type(message).__name__] += 1
         if self.trace is not None:
             self.trace.record(self.engine.now, "send", src, dst, message)
+        if self._byzantine:
+            message = self._corrupt(src, dst, message)
         delay = self.latency.delay(src, dst, self._rng)
         duplicates = 0
         if self._link_rules:
@@ -507,6 +668,8 @@ class Network:
             return
         if self._adversaries and self._adversary_drops(dst, message):
             return
+        if self._collusion_drops and self._collusion_blocks(src, dst, message):
+            return
         self.stats.delivered += 1
         if self.trace is not None:
             self.trace.record(self.engine.now, "deliver", src, dst, message)
@@ -527,6 +690,8 @@ class Network:
         if self._adversaries and self._adversary_drops(dst, message):
             # The adversary accepted the frame over TCP and ignored it:
             # the sender observes a *successful* send.
+            return
+        if self._collusion_drops and self._collusion_blocks(src, dst, message):
             return
         self.stats.delivered += 1
         if self.trace is not None:

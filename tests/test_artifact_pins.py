@@ -63,6 +63,17 @@ PR5_RELIABLE_SMOKE_SHA256 = {
     "reliable_stress": "cc90920605729fa6370a9659e413137bb4ba312b19fa8ae04f50757d0fa07ff1",
 }
 
+#: sha256 of the Byzantine-broadcast family's smoke artifacts at root
+#: seed 42, recorded when the BRB layer landed (PR 7).  They pin the
+#: SEND→ECHO→READY quorum machinery, the sampled-mode RNG draws, the
+#: Byzantine sender hooks (mutation/equivocation) and the value-judged
+#: measurement pipeline.
+PR7_BYZ_SMOKE_SHA256 = {
+    "byz_adversary_fraction": "65787fe933e6c0cd587970915ab0a77ab909d9d1a690b2fcc2f94f80b71e3ada",
+    "byz_churn": "f9696d2b17cab75fcb4655a4a1d787b76b9c25b463e8e34eae9ce669b6a6c73e",
+    "byz_equivocation": "1299710d53979bd1de5f94a86d3cf1c120780fc60491fd896f8c0a78d3bc3184",
+}
+
 #: Scenarios cheap enough to pin on every test run (seconds, not minutes).
 FAST_SUBSET = ("fig1_hyparview_reference", "fig1c_failure50", "ablation_flood_resend")
 
@@ -71,6 +82,9 @@ FAST_FAULT_SUBSET = ("faults_partition_heal", "faults_wan_jitter")
 
 #: The reliable-delivery pin that runs in the regular suite.
 FAST_RELIABLE_SUBSET = ("reliable_loss",)
+
+#: The cheap Byzantine pin that runs in the regular suite (two cells).
+FAST_BYZ_SUBSET = ("byz_equivocation",)
 
 
 def _hashes(scenario_ids) -> dict[str, str]:
@@ -97,6 +111,12 @@ def test_fast_reliable_subset_matches_pr5_artifacts():
     }
 
 
+def test_fast_byz_subset_matches_pr7_artifacts():
+    assert _hashes(FAST_BYZ_SUBSET) == {
+        k: PR7_BYZ_SMOKE_SHA256[k] for k in FAST_BYZ_SUBSET
+    }
+
+
 @pytest.mark.slow
 def test_all_fifteen_smoke_artifacts_match_pr2():
     assert _hashes(PR2_SMOKE_SHA256) == PR2_SMOKE_SHA256
@@ -110,3 +130,8 @@ def test_all_fault_smoke_artifacts_match_pr4():
 @pytest.mark.slow
 def test_all_reliable_smoke_artifacts_match_pr5():
     assert _hashes(PR5_RELIABLE_SMOKE_SHA256) == PR5_RELIABLE_SMOKE_SHA256
+
+
+@pytest.mark.slow
+def test_all_byz_smoke_artifacts_match_pr7():
+    assert _hashes(PR7_BYZ_SMOKE_SHA256) == PR7_BYZ_SMOKE_SHA256

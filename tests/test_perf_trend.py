@@ -285,6 +285,64 @@ class TestCommittedHistory:
         out = capsys.readouterr().out
         assert "median of last 1 run" in out
 
+    def test_sparkline_normalizes_to_the_glyph_ramp(self):
+        spark = perf_trend._spark([1.0, 2.0, 3.0])
+        assert len(spark) == 3
+        assert spark[0] == perf_trend.SPARK_CHARS[0]
+        assert spark[-1] == perf_trend.SPARK_CHARS[-1]
+        # A flat series renders flat, not divide-by-zero.
+        assert perf_trend._spark([2.0, 2.0]) == perf_trend.SPARK_CHARS[0] * 2
+
+    def test_sparkline_section_renders_history_plus_current(self):
+        history = [
+            {"fig2": _record("fig2", seconds=float(i))} for i in range(1, 4)
+        ]
+        current = {"fig2": _record("fig2", seconds=4.0)}
+        lines = perf_trend.sparkline_section(history, current)
+        assert any("| fig2 |" in line for line in lines)
+        row = next(line for line in lines if "| fig2 |" in line)
+        assert "4.00s" in row  # current lands at the right edge
+        assert "1.00s" in row and "4.00s" in row  # range column
+
+    def test_sparkline_section_skips_single_samples_and_kind_changes(self):
+        history = [{"kernel": _record("kernel", seconds=2.0)}]
+        current = {
+            "kernel": _record("kernel", events_per_second=1_000_000),
+            "lonely": _record("lonely", seconds=1.0),
+        }
+        # kernel's lone events/s sample and lonely's single run are both
+        # one-dot non-trends: nothing renders, the section collapses.
+        assert perf_trend.sparkline_section(history, current) == []
+
+    def test_sparkline_limit_keeps_newest_entries(self):
+        history = [
+            {"fig2": _record("fig2", seconds=float(i))} for i in range(1, 11)
+        ]
+        current = {"fig2": _record("fig2", seconds=11.0)}
+        lines = perf_trend.sparkline_section(history, current, limit=4)
+        row = next(line for line in lines if "| fig2 |" in line)
+        spark = row.split("`")[1]
+        assert len(spark) == 5  # 4 history entries + current
+        assert "7.00s" in row  # the oldest surviving entry
+
+    def test_main_sparklines_flag_renders_section(self, tmp_path, capsys):
+        current_dir = tmp_path / "cur"
+        _write(current_dir, _record("fig2", seconds=1.0))
+        history = self._history(
+            tmp_path,
+            [{"fig2": _record("fig2", seconds=float(i))} for i in (1, 2)],
+        )
+        assert perf_trend.main(
+            [
+                "--current", str(current_dir),
+                "--history", str(history),
+                "--sparklines",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Per-scenario history" in out
+        assert any(ch in out for ch in perf_trend.SPARK_CHARS)
+
     def test_main_record_history_appends(self, tmp_path):
         current_dir = tmp_path / "cur"
         _write(current_dir, _record("fig2", seconds=1.25))

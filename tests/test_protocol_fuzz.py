@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import HyParViewConfig
 from repro.metrics.graph import OverlaySnapshot
+from repro.sim.network import ByzantineBehavior
 
 from repro.testing import World
 
@@ -44,6 +45,11 @@ operation = st.one_of(
     st.tuples(st.just("leave"), st.integers(0, NODES - 1), st.just(0)),
     st.tuples(st.just("cycle"), st.integers(0, NODES - 1), st.just(0)),
     st.tuples(st.just("broadcast"), st.integers(0, NODES - 1), st.just(0)),
+    # A peer that starts equivocating (different corrupted flood payload
+    # per destination) — membership must be unaffected, since corruption
+    # touches only gossip payloads, never the view-maintenance frames.
+    st.tuples(st.just("equivocate"), st.integers(0, NODES - 1), st.just(0)),
+    st.tuples(st.just("honest"), st.integers(0, NODES - 1), st.just(0)),
 )
 
 
@@ -84,6 +90,14 @@ class Fuzzer:
         elif kind == "broadcast":
             if self.alive(a):
                 self.layers[a].broadcast(None)
+        elif kind == "equivocate":
+            if self.alive(a):
+                self.world.network.set_byzantine(
+                    self.nodes[a].node_id,
+                    ByzantineBehavior(("GossipData",), equivocate=True),
+                )
+        elif kind == "honest":
+            self.world.network.set_byzantine(self.nodes[a].node_id, None)
         self.world.drain()
 
     def _alive_count(self) -> int:

@@ -17,6 +17,7 @@ from repro.service.limits import (
     CircuitBreaker,
     PeerGuard,
     TokenBucket,
+    TopicBuckets,
 )
 
 
@@ -51,6 +52,35 @@ class TestTokenBucket:
             TokenBucket(rate=0.0, burst=1)
         with pytest.raises(ConfigurationError, match="burst"):
             TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTopicBuckets:
+    def test_hot_topic_exhausts_only_its_own_budget(self):
+        buckets = TopicBuckets(rate=1.0, burst=2)
+        assert buckets.allow("hot", 0.0)
+        assert buckets.allow("hot", 0.0)
+        assert not buckets.allow("hot", 0.0)
+        assert buckets.allow("cold", 0.0)  # unaffected by hot's spend
+        assert buckets.denied() == 1
+
+    def test_buckets_are_lazy_and_shared_per_key(self):
+        buckets = TopicBuckets(rate=1.0, burst=1)
+        assert buckets._buckets == {}
+        first = buckets.bucket("a")
+        assert buckets.bucket("a") is first
+        assert set(buckets._buckets) == {"a"}
+
+    def test_refill_is_per_topic(self):
+        buckets = TopicBuckets(rate=2.0, burst=1)
+        assert buckets.allow("a", 0.0)
+        assert not buckets.allow("a", 0.1)
+        assert buckets.allow("a", 1.0)
+
+    def test_validation_is_eager(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            TopicBuckets(rate=0.0, burst=1)
+        with pytest.raises(ConfigurationError, match="burst"):
+            TopicBuckets(rate=1.0, burst=0.0)
 
 
 class TestBreakerConfig:
