@@ -329,6 +329,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             root_seed=args.seed,
             n=args.n,
             messages=args.messages,
+            kernel=args.kernel,
+            shards=args.shards,
             unit_index=args.profile_unit,
         )
         return 0
@@ -342,6 +344,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         replicates=args.replicates,
         cells=args.cells != "off",
         snapshot_cache=not args.no_snapshot_cache,
+        kernel=args.kernel,
+        shards=args.shards,
         out_dir=None if args.no_artifacts else args.out,
         timings_dir=args.timings_out,
         check=args.check,
@@ -555,6 +559,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild every stabilised base overlay instead of serving "
         "frozen snapshots from the per-worker cache (slower, identical "
         "artifacts; for debugging/verification)",
+    )
+    p.add_argument(
+        "--kernel", choices=["single", "sharded"], default=None,
+        help="override the simulation kernel: single (bucket-queue "
+        "engine) or sharded (space-partitioned coordinator). Artifacts "
+        "are byte-identical either way; default: the tier's setting",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="shard count for --kernel sharded (default: the tier's "
+        "setting, normally 2)",
     )
     p.add_argument(
         "--profile", action="store_true",

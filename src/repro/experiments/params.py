@@ -35,6 +35,12 @@ from ..protocols.scamp import ScampConfig
 #: + per-copy acks + cancellable retransmit timers) over the named overlay.
 PROTOCOL_NAMES = stack_names()
 
+#: Simulation kernels a scenario can run on: the single-process
+#: bucket-queue :class:`~repro.sim.engine.Engine` and the space-sharded
+#: :class:`~repro.sim.sharded.ShardedEngine` coordinator.  Both fire the
+#: same events in the same order (the fig2 pin asserts it to the byte).
+KERNEL_NAMES = ("single", "sharded")
+
 
 @dataclass(frozen=True, slots=True)
 class ExperimentParams:
@@ -63,6 +69,13 @@ class ExperimentParams:
     #: exact timestamps.
     engine_tick: Optional[float] = None
     max_events_per_drain: Optional[int] = 50_000_000
+    #: Which simulation kernel runs the scenario (see ``KERNEL_NAMES``).
+    #: The choice never changes measured results — it is deliberately
+    #: excluded from artifact serialisation so byte-identity across
+    #: kernels is checkable.
+    kernel: str = "single"
+    #: Shard count for the sharded kernel; ignored by ``"single"``.
+    kernel_shards: int = 2
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -77,15 +90,30 @@ class ExperimentParams:
             raise ConfigurationError(f"latency must be >= 0: {self.latency_seconds}")
         if self.engine_tick is not None and self.engine_tick <= 0:
             raise ConfigurationError(f"engine tick must be positive: {self.engine_tick}")
+        if self.kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNEL_NAMES}"
+            )
+        if self.kernel_shards < 1:
+            raise ConfigurationError(f"shard count must be >= 1: {self.kernel_shards}")
 
     @classmethod
-    def paper(cls, n: int = 10_000, seed: int = 42) -> "ExperimentParams":
+    def paper(
+        cls,
+        n: int = 10_000,
+        seed: int = 42,
+        *,
+        kernel: str = "single",
+        kernel_shards: int = 2,
+    ) -> "ExperimentParams":
         """The exact Section 5.1 setting (10 000 nodes by default)."""
         return cls(
             n=n,
             seed=seed,
             fanout=4,
             stabilization_cycles=50,
+            kernel=kernel,
+            kernel_shards=kernel_shards,
             hyparview=HyParViewConfig(
                 active_view_capacity=5,
                 passive_view_capacity=30,
@@ -99,7 +127,15 @@ class ExperimentParams:
         )
 
     @classmethod
-    def scaled(cls, n: int, seed: int = 42, stabilization_cycles: int = 50) -> "ExperimentParams":
+    def scaled(
+        cls,
+        n: int,
+        seed: int = 42,
+        stabilization_cycles: int = 50,
+        *,
+        kernel: str = "single",
+        kernel_shards: int = 2,
+    ) -> "ExperimentParams":
         """Paper relations at system size ``n`` (views scale with log n)."""
         if n < 2:
             raise ConfigurationError(f"system size must be >= 2: {n}")
@@ -112,6 +148,8 @@ class ExperimentParams:
             seed=seed,
             fanout=4,
             stabilization_cycles=stabilization_cycles,
+            kernel=kernel,
+            kernel_shards=kernel_shards,
             hyparview=hyparview,
             cyclon=CyclonConfig(
                 view_size=cyclon_view,

@@ -134,12 +134,19 @@ class WorkUnit:
     #: snapshot cache (results are identical either way; this is purely
     #: a speed/memory knob).
     snapshot_cache: bool = True
+    #: Simulation kernel override (``"single"``/``"sharded"``); ``None``
+    #: keeps the tier's default.  Never part of the artifact.
+    kernel: Optional[str] = None
+    #: Shard-count override for the sharded kernel.
+    shards: Optional[int] = None
 
     def resolve(
         self, snapshots: Optional[SnapshotCache] = None
     ) -> tuple[ScenarioSpec, RunContext]:
         spec = get_scenario(self.scenario_id)
-        config = _apply_overrides(spec.tier(self.tier), self.n, self.messages)
+        config = _apply_overrides(
+            spec.tier(self.tier), self.n, self.messages, self.kernel, self.shards
+        )
         seed = replicate_seed(self.root_seed, self.scenario_id, self.replicate)
         context = RunContext(
             scenario_id=self.scenario_id,
@@ -174,12 +181,20 @@ def replicate_seed(root_seed: int, scenario_id: str, replicate: int) -> int:
 
 
 def _apply_overrides(
-    config: TierConfig, n: Optional[int], messages: Optional[int]
+    config: TierConfig,
+    n: Optional[int],
+    messages: Optional[int],
+    kernel: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> TierConfig:
     if n is not None:
         config = replace(config, n=n, paper_params=False)
     if messages is not None:
         config = replace(config, messages=messages)
+    if kernel is not None:
+        config = replace(config, kernel=kernel)
+    if shards is not None:
+        config = replace(config, kernel_shards=shards)
     return config
 
 
@@ -435,6 +450,8 @@ def build_units(
     replicates: Optional[int] = None,
     cells: bool = True,
     snapshot_cache: bool = True,
+    kernel: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> list[WorkUnit]:
     """Expand scenarios into the flat, deterministic work-unit list.
 
@@ -459,6 +476,8 @@ def build_units(
                 n=n,
                 messages=messages,
                 snapshot_cache=snapshot_cache,
+                kernel=kernel,
+                shards=shards,
             )
             if cells and spec.supports_cells:
                 assert spec.cells is not None
@@ -482,6 +501,8 @@ def run_scenarios(
     replicates: Optional[int] = None,
     cells: bool = True,
     snapshot_cache: bool = True,
+    kernel: Optional[str] = None,
+    shards: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     timings: Optional[SweepTimings] = None,
 ) -> dict[str, ScenarioRun]:
@@ -489,7 +510,9 @@ def run_scenarios(
 
     Returns runs keyed by scenario id, replicates ordered by index —
     identical regardless of worker count, cell splitting, snapshot
-    caching or completion order.
+    caching or completion order.  The ``kernel``/``shards`` overrides
+    select the simulation kernel; artifacts are byte-identical across
+    them (the sharded determinism pins depend on it).
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1: {workers}")
@@ -497,7 +520,7 @@ def run_scenarios(
     units = build_units(
         scenario_ids, tier,
         root_seed=root_seed, n=n, messages=messages, replicates=replicates,
-        cells=cells, snapshot_cache=snapshot_cache,
+        cells=cells, snapshot_cache=snapshot_cache, kernel=kernel, shards=shards,
     )
     unit_by_key = {(u.scenario_id, u.replicate, u.cell): u for u in units}
     completed: list[UnitOutcome] = []
@@ -543,7 +566,7 @@ def run_scenarios(
     runs: dict[str, ScenarioRun] = {}
     for scenario_id in scenario_ids:
         spec = get_scenario(scenario_id)
-        config = _apply_overrides(spec.tier(tier), n, messages)
+        config = _apply_overrides(spec.tier(tier), n, messages, kernel, shards)
         count = replicates if replicates is not None else config.replicates
         if replicates is not None:
             config = replace(config, replicates=replicates)
@@ -558,6 +581,7 @@ def run_scenarios(
                 _, context = WorkUnit(
                     scenario_id=scenario_id, tier=tier, replicate=replicate,
                     root_seed=root_seed, n=n, messages=messages,
+                    kernel=kernel, shards=shards,
                 ).resolve()
                 result = spec.merge_cells(context, cell_results[key])
             records.append({"replicate": replicate, "seed": seed, "result": result})
@@ -618,6 +642,8 @@ def run_and_report(
     replicates: Optional[int] = None,
     cells: bool = True,
     snapshot_cache: bool = True,
+    kernel: Optional[str] = None,
+    shards: Optional[int] = None,
     out_dir: Optional[pathlib.Path | str] = None,
     timings_dir: Optional[pathlib.Path | str] = None,
     check: bool = False,
@@ -637,6 +663,7 @@ def run_and_report(
         workers=workers, root_seed=root_seed,
         n=n, messages=messages, replicates=replicates,
         cells=cells, snapshot_cache=snapshot_cache,
+        kernel=kernel, shards=shards,
         progress=lambda note: print(f"  [{tier}] {note}", file=stream),
         timings=timings,
     )
@@ -675,6 +702,8 @@ def profile_unit(
     root_seed: int = DEFAULT_ROOT_SEED,
     n: Optional[int] = None,
     messages: Optional[int] = None,
+    kernel: Optional[str] = None,
+    shards: Optional[int] = None,
     unit_index: int = 0,
     top: int = 20,
     stream=None,
@@ -691,7 +720,8 @@ def profile_unit(
 
     stream = stream if stream is not None else sys.stdout
     units = build_units(
-        [scenario_id], tier, root_seed=root_seed, n=n, messages=messages, replicates=1,
+        [scenario_id], tier, root_seed=root_seed, n=n, messages=messages,
+        replicates=1, kernel=kernel, shards=shards,
     )
     if not 0 <= unit_index < len(units):
         raise ConfigurationError(

@@ -31,6 +31,7 @@ from ..sim.engine import Engine
 from ..sim.latency import ConstantLatency
 from ..sim.network import Network
 from ..sim.node import SimNode
+from ..sim.sharded import ShardedEngine
 from .params import PROTOCOL_NAMES, ExperimentParams
 
 
@@ -64,7 +65,8 @@ class Scenario:
         self.protocol = protocol
         self.params = params if params is not None else ExperimentParams()
         self.seeds = SeedSequence(self.params.seed)
-        self.engine = Engine(tick=self.params.engine_tick)
+        self.node_ids: list[NodeId] = simulated_node_ids(self.params.n)
+        self.engine = self._build_kernel()
         self.network = Network(
             self.engine,
             latency=ConstantLatency(self.params.latency_seconds),
@@ -72,7 +74,6 @@ class Scenario:
             loss_rate=loss_rate,
         )
         self.tracker = BroadcastTracker()
-        self.node_ids: list[NodeId] = simulated_node_ids(self.params.n)
         self._rng = self.seeds.stream("harness")
         # Optional per-delivery recorder (see set_delivery_recorder); set
         # before the node loop so _build_stack can consult it.
@@ -86,23 +87,45 @@ class Scenario:
         self._overlay_built = False
 
     # ------------------------------------------------------------------
-    # Stack construction
+    # Kernel and stack construction
     # ------------------------------------------------------------------
+    def _build_kernel(self):
+        """The event kernel ``params.kernel`` asks for.
+
+        ``"single"`` is the bucket-queue :class:`Engine`; ``"sharded"``
+        partitions the node space into contiguous blocks across
+        ``params.kernel_shards`` shard queues with the minimum cross-shard
+        link latency as the conservative lookahead window —
+        :class:`ConstantLatency` draws no RNG, so that bound is static and
+        exact.  Both kernels fire the same events in the same order.
+        """
+        params = self.params
+        if params.kernel == "single":
+            return Engine(tick=params.engine_tick)
+        engine = ShardedEngine(
+            params.kernel_shards,
+            tick=params.engine_tick,
+            lookahead=params.latency_seconds,
+        )
+        engine.partition(self.node_ids)
+        return engine
+
     def _build_stack(self, node: SimNode) -> None:
         # One construction path shared with the asyncio runtime: the
         # declarative stack registry (repro.protocols.registry) owns the
-        # membership/broadcast factory pair for each protocol name.
+        # membership/broadcast factory pair for each protocol name and
+        # resolves declared capabilities (``needs_roster``) itself — the
+        # harness only supplies the roster, it never special-cases stacks.
         spec = get_stack(self.protocol)
         membership, broadcast = spec.build(
-            node.host("membership"), node.host("gossip"), self.params, self.tracker
+            node.host("membership"),
+            node.host("gossip"),
+            self.params,
+            self.tracker,
+            roster=self.node_ids,
         )
         node.wire("membership", membership)
         node.wire("gossip", broadcast)
-        # Quorum layers need the full membership *set*, which the partial
-        # views deliberately never provide; the harness owns the roster.
-        set_roster = getattr(broadcast, "set_roster", None)
-        if set_roster is not None:
-            set_roster(self.node_ids)
         if self._delivery_recorder is not None:
             broadcast._on_deliver = _RecorderCallback(
                 self._delivery_recorder, node.node_id
@@ -309,6 +332,14 @@ class Scenario:
         shrinks paper-scale snapshots by roughly an order of magnitude.
         Thawed streams fast-forward lazily on first draw, so rehydration
         cost is paid only for the nodes a measurement actually touches.
+
+        The kernel serialises itself in kernel-appropriate sections: the
+        single-shard engine as its canonical bucket/wheel state (blob
+        bytes unchanged from before the sharded kernel existed), the
+        sharded kernel as one sorted live-entry section per shard.  A
+        sharded kernel caught mid-window (buffered cross-shard handoffs)
+        refuses to freeze with a clear error — impossible here because
+        the drained-engine check above already guarantees empty outboxes.
         """
         if self.engine.live_pending:
             raise SimulationError("cannot freeze a scenario with pending events")

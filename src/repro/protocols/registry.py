@@ -33,7 +33,7 @@ Registration order is the canonical protocol order (it defines
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from ..common.errors import ConfigurationError
 from ..common.interfaces import Host
@@ -67,6 +67,13 @@ class StackSpec:
     #: ``start``/``stop`` on the membership layer, which every protocol
     #: provides, so this flag mostly records what has live test coverage.
     runtime: bool = False
+    #: Whether the broadcast layer needs the full membership *set* injected
+    #: after construction (``broadcast.set_roster(roster)``).  Quorum
+    #: layers declare this: their thresholds are roster-relative, which a
+    #: partial-view overlay cannot provide by design.  The registry — not
+    #: each harness — resolves the capability in :meth:`build`, so the
+    #: simulator and the live runtime share one code path.
+    needs_roster: bool = False
 
     def build(
         self,
@@ -75,10 +82,23 @@ class StackSpec:
         params: Any,
         tracker: Any = None,
         on_deliver: Optional[Callable] = None,
+        roster: Optional[Sequence[Any]] = None,
     ) -> tuple[PeerSamplingService, Any]:
-        """Construct the (membership, broadcast) pair over the given hosts."""
+        """Construct the (membership, broadcast) pair over the given hosts.
+
+        ``roster`` is the full membership set the harness knows; it is
+        consumed only by stacks that declare :attr:`needs_roster`, and
+        such a stack built without one is a configuration error.
+        """
         membership = self.membership(membership_host, params)
         broadcast = self.broadcast(gossip_host, membership, params, tracker, on_deliver)
+        if self.needs_roster:
+            if roster is None:
+                raise ConfigurationError(
+                    f"stack {self.name!r} needs the full membership roster; "
+                    f"pass roster=... to StackSpec.build"
+                )
+            broadcast.set_roster(roster)
         return membership, broadcast
 
 
@@ -194,10 +214,10 @@ register_stack(StackSpec(
 
 
 # Bracha/SBRB Byzantine reliable broadcast over the acked-datagram
-# discipline, with HyParView supplying the failure-repair substrate.  The
-# harness injects the full roster post-construction (set_roster) — quorum
-# thresholds are roster-relative, which a partial-view overlay cannot
-# provide by design.
+# discipline, with HyParView supplying the failure-repair substrate.
+# ``needs_roster`` makes the registry inject the full membership set
+# post-construction — quorum thresholds are roster-relative, which a
+# partial-view overlay cannot provide by design.
 register_stack(StackSpec(
     name="hyparview-brb",
     membership=lambda host, params: HyParView(host, params.hyparview),
@@ -206,6 +226,7 @@ register_stack(StackSpec(
         config=getattr(params, "brb", None),
         on_deliver=on_deliver,
     ),
+    needs_roster=True,
 ))
 
 register_stack(StackSpec(
@@ -216,6 +237,7 @@ register_stack(StackSpec(
         config=getattr(params, "brb", None),
         on_deliver=on_deliver,
     ),
+    needs_roster=True,
 ))
 
 

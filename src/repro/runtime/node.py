@@ -21,7 +21,7 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from ..common.errors import ConfigurationError
 from ..common.ids import MessageId, NodeId
@@ -81,6 +81,7 @@ class RuntimeNode:
         tracker: Optional[BroadcastTracker] = None,
         incarnation: int = 0,
         delivery_log: Optional[DeliveryLog] = None,
+        roster: Optional[Sequence[NodeId]] = None,
     ) -> None:
         if protocol is None:
             protocol = _LEGACY_BROADCAST.get(broadcast)
@@ -104,6 +105,9 @@ class RuntimeNode:
         )
         self._external_deliver = on_deliver
         self._seed = seed
+        # Full membership set for roster-needing (quorum) stacks; resolved
+        # uniformly by StackSpec.build — same code path as the simulator.
+        self._roster = list(roster) if roster is not None else None
         self._tracker = tracker
         self.incarnation = incarnation
         self.delivery_log = delivery_log if delivery_log is not None else DeliveryLog()
@@ -163,7 +167,12 @@ class RuntimeNode:
         )
         spec = get_stack(self.protocol)
         self.membership, self.broadcast_layer = spec.build(
-            host, gossip_host, self._params, self._tracker, on_deliver=self._on_deliver
+            host,
+            gossip_host,
+            self._params,
+            self._tracker,
+            on_deliver=self._on_deliver,
+            roster=self._roster,
         )
         for message_type, handler in self.membership.handlers().items():
             self._handlers[message_type] = handler

@@ -1,0 +1,453 @@
+"""Space-sharded simulation kernel: one event queue per node-space shard.
+
+``ShardedEngine`` implements the :class:`~repro.common.interfaces.Kernel`
+surface by partitioning the node space into ``shards`` and giving each
+shard its own event queue.  Every event belongs to the shard of the node
+that *consumes* it (the destination of a delivery, the watcher of a
+link-down notification); events created while one shard's event is
+firing that target another shard do not touch the destination queue
+directly — they are buffered as timestamped handoffs in a per-boundary
+outbox (:class:`~repro.sim.shardproto.HandoffBatch`) and merged in bulk
+when the synchronisation window closes.
+
+**Determinism by construction.**  Every insertion — local or handoff —
+is stamped with a globally monotonic sequence number, and the merge loop
+always fires the globally minimal ``(time, seq)`` entry (quantised-tick
+mode orders by ``(quantised time, raw time, seq)``, matching the
+single-shard engine's stable in-bucket sort).  That key is exactly the
+single-shard :class:`~repro.sim.engine.Engine`'s global (time,
+insertion-order) firing order, so a sharded run fires the same callbacks
+in the same order with the same RNG draws as a single-shard run — which
+is what the byte-identical fig2 pin asserts.
+
+**Conservative lookahead.**  The minimum cross-shard link latency (the
+``lookahead``) bounds how far one shard may advance past the others: a
+handoff created at ``now`` cannot fire before ``now + lookahead``, so
+outboxes only need merging once simulated time approaches their earliest
+entry.  The in-process coordinator is sequential — the window rule here
+buys *batching* (one :class:`HandoffBatch` per boundary per window), and
+the same rule is what lets a future multi-process deployment run shards
+concurrently inside their granted windows (:meth:`window_grants`).  A
+handoff scheduled closer than the lookahead is legal in-process (the
+coordinator just closes the window early) and is counted in
+:attr:`sync` as a ``lookahead_violation`` — the honest measure of how
+much concurrency the workload would really permit.
+
+The coordinator is deliberately *not* built from per-shard ``Engine``
+instances: the single-shard engine's bucket/wheel hot path stays
+untouched (and its kernel-bench gates unaffected), while the sharded
+path pays its bookkeeping openly — the ``bench_kernel.py`` scalability
+probe reports that overhead rather than hiding it.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Optional, Sequence
+
+from ..common.errors import SimulationError
+from ..common.ids import NodeId
+from ..common.interfaces import Kernel
+from . import engine as _engine_mod
+from .engine import COMPACTION_FLOOR, EventHandle
+from .shardproto import HandoffBatch, ShardSyncStats, WindowGrant
+
+__all__ = ["ShardedEngine"]
+
+
+def _is_dead(entry: tuple) -> bool:
+    """Whether a queue entry is a lazily-cancelled timer."""
+    return entry[3] is None and entry[4]._cancelled
+
+
+class ShardedEngine(Kernel):
+    """Deterministic coordinator of per-shard event queues.
+
+    Queue entries are ``(priority, time, seq, callback, payload)`` tuples;
+    ``callback is None`` marks a cancellable timer whose
+    :class:`~repro.sim.engine.EventHandle` rides in ``payload``, otherwise
+    ``payload`` is the callback's argument tuple.  ``seq`` is globally
+    unique, so heap comparisons never reach the unorderable callback.
+
+    The engine duck-types the accounting surface
+    (``_cancelled``/``_size``/``_compact_watermark``/``compact``) that
+    :meth:`EventHandle.cancel` inlines, so the single-shard handle type is
+    reused unchanged.
+    """
+
+    routed = True
+
+    def __init__(
+        self,
+        shards: int = 2,
+        start_time: float = 0.0,
+        *,
+        tick: Optional[float] = None,
+        lookahead: float = 0.0,
+    ) -> None:
+        if shards < 1:
+            raise SimulationError(f"shard count must be >= 1: {shards}")
+        if tick is not None and tick <= 0:
+            raise SimulationError(f"tick must be positive: {tick}")
+        if lookahead < 0:
+            raise SimulationError(f"lookahead must be non-negative: {lookahead}")
+        self._shards = shards
+        self._now = start_time
+        self._tick = tick
+        self._lookahead = lookahead
+        #: Global insertion counter — the ``seq`` half of the merge key.
+        self._seq = 0
+        self._heaps: list[list[tuple]] = [[] for _ in range(shards)]
+        #: Node -> owning shard; unknown owners fall back to shard 0 (the
+        #: control shard for harness-level events).  Exactness never
+        #: depends on the assignment — only batching efficiency does.
+        self._owners: dict[NodeId, int] = {}
+        #: (src_shard, dst_shard) -> buffered handoff entries, in seq order.
+        self._outboxes: dict[tuple[int, int], list[tuple]] = {}
+        self._outbox_pending = 0
+        #: Lower bound on the earliest buffered handoff's firing time.
+        self._outbox_min = math.inf
+        #: Shard whose event is currently firing (None between events);
+        #: decides which inserts are cross-shard handoffs.
+        self._current_shard: Optional[int] = None
+        self._size = 0
+        self._processed = 0
+        self._cancelled = 0
+        self._compact_watermark = COMPACTION_FLOOR
+        #: Synchronisation-cost ledger (see :mod:`repro.sim.shardproto`).
+        self.sync = ShardSyncStats()
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def lookahead(self) -> float:
+        return self._lookahead
+
+    def assign(self, node_id: NodeId, shard: int) -> None:
+        """Pin ``node_id``'s events to ``shard``."""
+        if not 0 <= shard < self._shards:
+            raise SimulationError(
+                f"shard {shard} out of range for {self._shards} shards"
+            )
+        self._owners[node_id] = shard
+
+    def partition(self, node_ids: Sequence[NodeId]) -> None:
+        """Assign ``node_ids`` to shards in contiguous equal blocks."""
+        total = len(node_ids)
+        shards = self._shards
+        for index, node_id in enumerate(node_ids):
+            self._owners[node_id] = index * shards // total
+
+    def shard_of(self, owner: Optional[NodeId]) -> int:
+        """The shard that processes events consumed by ``owner``."""
+        if owner is None:
+            return 0
+        return self._owners.get(owner, 0)
+
+    # ------------------------------------------------------------------
+    # Kernel surface: time and counters
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def tick(self) -> Optional[float]:
+        return self._tick
+
+    @property
+    def pending(self) -> int:
+        return self._size
+
+    @property
+    def live_pending(self) -> int:
+        return self._size - self._cancelled
+
+    @property
+    def cancelled_pending(self) -> int:
+        return self._cancelled
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Kernel surface: scheduling
+    # ------------------------------------------------------------------
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._insert(None, self._now + delay, callback, args)
+
+    def post_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
+        self._insert(None, when, callback, args)
+
+    def post_for(
+        self, owner: Optional[NodeId], delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._insert(owner, self._now + delay, callback, args)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._insert_timer(None, self._now + delay, callback, args)
+
+    def schedule_at(
+        self, when: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
+        return self._insert_timer(None, when, callback, args)
+
+    def schedule_for(
+        self, owner: Optional[NodeId], delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._insert_timer(owner, self._now + delay, callback, args)
+
+    def _insert_timer(
+        self, owner: Optional[NodeId], when: float, callback: Callable[..., None], args: tuple
+    ) -> EventHandle:
+        handle = EventHandle(when, callback, args, engine=self)
+        self._insert(owner, when, None, handle)
+        return handle
+
+    def _insert(self, owner, when, callback, payload) -> None:
+        tick = self._tick
+        prio = when if tick is None else math.ceil(when / tick) * tick
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (prio, when, seq, callback, payload)
+        self._size += 1
+        src = self._current_shard
+        if owner is None:
+            # Harness/control events stay on the firing shard (shard 0
+            # when idle) — exactness does not depend on placement.
+            shard = 0 if src is None else src
+        else:
+            shard = self._owners.get(owner, 0)
+        if src is not None and shard != src:
+            # Cross-shard: buffer as a timestamped handoff; merged in
+            # (time, seq) order when the window closes.
+            self._outboxes.setdefault((src, shard), []).append(entry)
+            self._outbox_pending += 1
+            if when < self._outbox_min:
+                self._outbox_min = when
+            sync = self.sync
+            sync.handoffs += 1
+            if when - self._now < self._lookahead - 1e-12:
+                sync.lookahead_violations += 1
+        else:
+            heappush(self._heaps[shard], entry)
+
+    # ------------------------------------------------------------------
+    # Window synchronisation
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Close the window: merge every outbox into its destination."""
+        for (src, dst), entries in self._outboxes.items():
+            if not entries:
+                continue
+            self._absorb(HandoffBatch(src_shard=src, dst_shard=dst, entries=tuple(entries)))
+            entries.clear()
+        self._outbox_pending = 0
+        self._outbox_min = math.inf
+
+    def _absorb(self, batch: HandoffBatch) -> None:
+        heap = self._heaps[batch.dst_shard]
+        for entry in batch.entries:
+            heappush(heap, entry)
+        self.sync.batches += 1
+        self.sync.batched_events += len(batch)
+
+    def _select(self) -> Optional[int]:
+        """Shard holding the globally next live event, or ``None``.
+
+        Pops lazily-cancelled timers found at queue heads, and closes the
+        window first whenever a buffered handoff could precede the best
+        in-queue candidate (``_outbox_min`` is a lower bound on every
+        buffered priority, so comparing it against the candidate priority
+        is conservative — flushing early is harmless, late is impossible).
+        """
+        while True:
+            best = None
+            best_key = None
+            for shard, heap in enumerate(self._heaps):
+                while heap:
+                    head = heap[0]
+                    if head[3] is None and head[4]._cancelled:
+                        heappop(heap)
+                        self._size -= 1
+                        self._cancelled -= 1
+                        continue
+                    key = head[:3]
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = shard
+                    break
+            if self._outbox_pending and (
+                best_key is None or self._outbox_min <= best_key[0]
+            ):
+                self._flush()
+                continue
+            return best
+
+    def window_grants(self) -> tuple[WindowGrant, ...]:
+        """Conservative per-shard advance bounds under the lookahead rule.
+
+        Diagnostic view of the concurrency a multi-process run would get:
+        shard *i* may fire everything strictly below min(other shards'
+        earliest event) + lookahead.  O(pending) — not on any hot path.
+        """
+        heads: list[Optional[float]] = []
+        for heap in self._heaps:
+            live = [entry[0] for entry in heap if not _is_dead(entry)]
+            heads.append(min(live) if live else None)
+        grants = []
+        for shard in range(self._shards):
+            others = [h for i, h in enumerate(heads) if i != shard and h is not None]
+            bound = min(others) + self._lookahead if others else math.inf
+            grants.append(WindowGrant(shard=shard, until=bound))
+        return tuple(grants)
+
+    # ------------------------------------------------------------------
+    # Kernel surface: execution
+    # ------------------------------------------------------------------
+    def _fire(self, shard: int) -> None:
+        """Pop and fire the head of ``shard``'s queue."""
+        prio, when, seq, callback, payload = heappop(self._heaps[shard])
+        self._size -= 1
+        self._processed += 1
+        self._now = prio
+        _engine_mod._fired_total += 1
+        self._current_shard = shard
+        try:
+            if callback is None:
+                payload._engine = None
+                payload._callback(*payload._args)
+            else:
+                callback(*payload)
+        finally:
+            self._current_shard = None
+
+    def step(self) -> bool:
+        """Fire the single next event; ``False`` when the queue is empty."""
+        shard = self._select()
+        if shard is None:
+            return False
+        self._fire(shard)
+        return True
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Drain the queues; returns the number of events fired."""
+        fired = 0
+        while True:
+            shard = self._select()
+            if shard is None:
+                return fired
+            self._fire(shard)
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(
+                    f"run_until_idle exceeded {max_events} events — runaway cascade?"
+                )
+
+    def run_until(self, deadline: float) -> int:
+        """Fire every event with timestamp <= ``deadline``, then set the
+        clock to ``deadline``.  Returns the number of events fired."""
+        if deadline < self._now:
+            raise SimulationError(f"deadline in the past: {deadline} < {self._now}")
+        fired = 0
+        while True:
+            shard = self._select()
+            if shard is None or self._heaps[shard][0][0] > deadline:
+                break
+            self._fire(shard)
+            fired += 1
+        self._now = deadline
+        return fired
+
+    def run_for(self, duration: float) -> int:
+        """Fire events for ``duration`` simulated seconds from now."""
+        return self.run_until(self._now + duration)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Physically remove lazily-cancelled timers from every queue."""
+        if not self._cancelled:
+            return 0
+        removed = 0
+        for heap in self._heaps:
+            kept = [entry for entry in heap if not _is_dead(entry)]
+            if len(kept) != len(heap):
+                removed += len(heap) - len(kept)
+                heap[:] = kept
+                heapify(heap)
+        for entries in self._outboxes.values():
+            kept = [entry for entry in entries if not _is_dead(entry)]
+            if len(kept) != len(entries):
+                removed += len(entries) - len(kept)
+                entries[:] = kept
+        if removed:
+            self._outbox_pending = sum(len(e) for e in self._outboxes.values())
+            self._outbox_min = min(
+                (entry[1] for entries in self._outboxes.values() for entry in entries),
+                default=math.inf,
+            )
+        self._size -= removed
+        self._cancelled -= removed
+        self._compact_watermark = max(COMPACTION_FLOOR, 2 * self._cancelled)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle as per-shard sections of canonically sorted live entries.
+
+        Refuses mid-window state: buffered handoffs belong to no shard's
+        section until the window closes, so freezing with a non-empty
+        outbox would tear a batch apart.  ``Scenario.freeze`` drains the
+        kernel first, which also empties every outbox.
+        """
+        if self._outbox_pending:
+            raise SimulationError(
+                f"cannot snapshot a sharded kernel mid-window: "
+                f"{self._outbox_pending} cross-shard handoff(s) still buffered; "
+                f"run the kernel until the window closes before freezing"
+            )
+        state = dict(self.__dict__)
+        sections = []
+        dropped = 0
+        for heap in self._heaps:
+            live = sorted(entry for entry in heap if not _is_dead(entry))
+            dropped += len(heap) - len(live)
+            sections.append(live)
+        state["_heaps"] = sections
+        state["_size"] = self._size - dropped
+        state["_cancelled"] = self._cancelled - dropped
+        state["_outboxes"] = {}
+        state["_outbox_min"] = math.inf
+        state["_current_shard"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # A sorted list is a valid heap, but be explicit about the invariant.
+        for heap in self._heaps:
+            heapify(heap)

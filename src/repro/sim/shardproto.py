@@ -1,0 +1,94 @@
+"""Cross-shard worker protocol for the space-sharded kernel.
+
+The sharded kernel (:mod:`repro.sim.sharded`) partitions the node space
+into shards and synchronises them with a conservative lookahead window:
+the minimum cross-shard link latency bounds how far any shard may run
+ahead of the others, and every event that crosses a shard boundary
+travels as a timestamped handoff, merged into the destination shard's
+queue in fixed ``(time, seq)`` order.
+
+This module is the *wire vocabulary* of that exchange — the records a
+coordinator and its shard workers pass around.  Keeping it separate from
+the engine does two jobs:
+
+* the in-process :class:`~repro.sim.sharded.ShardedEngine` coordinator
+  already speaks it (every outbox flush builds a :class:`HandoffBatch`),
+  so the protocol is exercised by the byte-identity pins today;
+* a future multi-process deployment serialises exactly these records
+  over its worker pipes — the batch boundary is the process boundary.
+
+Everything here is plain data with total ordering supplied by the
+``(time, seq)`` keys; nothing imports the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffBatch:
+    """One window's worth of events crossing a single shard boundary.
+
+    ``entries`` are the coordinator's heap entries,
+    ``(priority, time, seq, callback, payload)`` tuples already carrying
+    the global sequence numbers assigned at send time — merging a batch
+    is therefore pure insertion; no re-ordering decisions are left to
+    the receiver, which is what makes the merge deterministic by
+    construction.
+    """
+
+    src_shard: int
+    dst_shard: int
+    entries: Tuple[tuple, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class WindowGrant:
+    """Permission for one shard to advance its local clock.
+
+    Under the conservative synchronisation rule a shard may safely fire
+    every event strictly below ``until`` = min(other shards' next event
+    times) + lookahead, because no event that could still arrive from
+    another shard can be timestamped earlier.  The in-process coordinator
+    computes grants for diagnostics (:meth:`ShardedEngine.window_grants`);
+    a multi-process coordinator sends them to unblock workers.
+    """
+
+    shard: int
+    until: float
+
+
+@dataclass(slots=True)
+class ShardSyncStats:
+    """Synchronisation-cost counters, the honest-overhead ledger.
+
+    The scalability probe in ``benchmarks/bench_kernel.py`` and the
+    sharded tests read these to report what the window protocol actually
+    cost a run: how many events crossed shards, how well they batched,
+    and how often a send violated the lookahead bound (a violation is
+    legal in-process — the coordinator just flushes early — but would
+    stall a real multi-process window).
+    """
+
+    #: Events that crossed a shard boundary (buffered in an outbox).
+    handoffs: int = 0
+    #: Outbox flushes absorbed into destination queues.
+    batches: int = 0
+    #: Total events carried by those batches.
+    batched_events: int = 0
+    #: Handoffs scheduled closer than the lookahead window bound.
+    lookahead_violations: int = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for timing records and test assertions."""
+        return {
+            "handoffs": self.handoffs,
+            "batches": self.batches,
+            "batched_events": self.batched_events,
+            "lookahead_violations": self.lookahead_violations,
+        }

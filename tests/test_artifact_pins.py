@@ -86,9 +86,15 @@ FAST_RELIABLE_SUBSET = ("reliable_loss",)
 #: The cheap Byzantine pin that runs in the regular suite (two cells).
 FAST_BYZ_SUBSET = ("byz_equivocation",)
 
+#: The sharded-kernel pin (PR 8): fig2 under ``--kernel sharded --shards 2``
+#: must hash to the *same* PR-2 value as the single-shard run — the sharded
+#: kernel is an exact-order coordinator, so kernel choice can never show up
+#: in an artifact byte.
+SHARDED_PIN_SCENARIO = "fig2_reliability"
 
-def _hashes(scenario_ids) -> dict[str, str]:
-    runs = run_scenarios(list(scenario_ids), "smoke", workers=1)
+
+def _hashes(scenario_ids, **overrides) -> dict[str, str]:
+    runs = run_scenarios(list(scenario_ids), "smoke", workers=1, **overrides)
     return {
         scenario_id: hashlib.sha256(encode_artifact(run.artifact()).encode()).hexdigest()
         for scenario_id, run in runs.items()
@@ -114,6 +120,12 @@ def test_fast_reliable_subset_matches_pr5_artifacts():
 def test_fast_byz_subset_matches_pr7_artifacts():
     assert _hashes(FAST_BYZ_SUBSET) == {
         k: PR7_BYZ_SMOKE_SHA256[k] for k in FAST_BYZ_SUBSET
+    }
+
+
+def test_sharded_kernel_fig2_matches_single_shard_pin():
+    assert _hashes((SHARDED_PIN_SCENARIO,), kernel="sharded", shards=2) == {
+        SHARDED_PIN_SCENARIO: PR2_SMOKE_SHA256[SHARDED_PIN_SCENARIO]
     }
 
 

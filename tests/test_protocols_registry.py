@@ -73,10 +73,25 @@ class TestStackConstruction:
             world = World()
             node = world.new_node()
             membership, broadcast = get_stack(name).build(
-                node.host("membership"), node.host("gossip"), params, world.tracker
+                node.host("membership"),
+                node.host("gossip"),
+                params,
+                world.tracker,
+                roster=[node.node_id],
             )
             assert membership.handlers()
             assert broadcast.handlers()
+
+    def test_roster_stack_refuses_to_build_without_roster(self):
+        params = ExperimentParams.scaled(16, seed=3)
+        world = World()
+        node = world.new_node()
+        spec = get_stack("hyparview-brb")
+        assert spec.needs_roster
+        with pytest.raises(ConfigurationError, match="needs the full membership roster"):
+            spec.build(
+                node.host("membership"), node.host("gossip"), params, world.tracker
+            )
 
     def test_expected_layer_types(self):
         params = ExperimentParams.scaled(16, seed=3)

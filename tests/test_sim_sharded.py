@@ -1,0 +1,281 @@
+"""The sharded kernel must be indistinguishable from the single-shard engine.
+
+``ShardedEngine`` reproduces :class:`~repro.sim.engine.Engine`'s global
+(time, insertion-order) firing order by construction — a globally
+monotonic sequence number plus a ``(priority, time, seq)`` K-way merge.
+These tests hold it to that claim: hypothesis-fuzzed cross-shard traffic
+(mirroring ``test_sim_engine.py``'s reference-heap strategy) must fire in
+exactly the single-shard order, cascades created *while* a shard fires
+must round-trip through the outbox without reordering, and the snapshot
+surface must refuse mid-window state instead of tearing a batch apart.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.sharded import ShardedEngine
+from repro.sim.shardproto import HandoffBatch, ShardSyncStats, WindowGrant
+
+#: Delay grid shared with test_sim_engine's order-equivalence strategy:
+#: heavy ties (same-instant traffic) plus one far-future outlier.
+DELAYS = [0.0, 0.5, 1.0, 1.5, 2.0, 30.0]
+
+#: Synthetic owners: four nodes striped across two shards, so roughly
+#: half of all owner-to-owner traffic crosses the shard boundary.
+OWNERS = [0, 1, 2, 3]
+
+
+def _two_shard_engine(lookahead: float = 0.0) -> ShardedEngine:
+    engine = ShardedEngine(2, lookahead=lookahead)
+    for owner in OWNERS:
+        engine.assign(owner, owner % 2)
+    return engine
+
+
+def _drive(kernel, operations, fired, *, routed: bool) -> None:
+    """Replay mixed schedule/post/cancel traffic with cross-shard cascades.
+
+    Each fired event appends its index and posts one follow-up event
+    owned by the *next* node — on the sharded kernel that child is a
+    cross-shard handoff half the time, created while a shard is firing
+    (the only moment handoffs exist).  The single-shard replay uses the
+    owner-blind entry points; both must fire identically.
+    """
+
+    def fire(index: int, generation: int) -> None:
+        fired.append((index, generation))
+        if generation:
+            child_owner = OWNERS[(index + 1) % len(OWNERS)]
+            child_delay = DELAYS[index % len(DELAYS)]
+            if routed:
+                kernel.post_for(child_owner, child_delay, fire, index, generation - 1)
+            else:
+                kernel.post(child_delay, fire, index, generation - 1)
+
+    for index, (delay, owner, cancel) in enumerate(operations):
+        if cancel:
+            if routed:
+                kernel.schedule_for(owner, delay, fire, index, 0).cancel()
+            else:
+                kernel.schedule(delay, fire, index, 0).cancel()
+        elif index % 2:
+            if routed:
+                kernel.schedule_for(owner, delay, fire, index, 1)
+            else:
+                kernel.schedule(delay, fire, index, 1)
+        else:
+            if routed:
+                kernel.post_for(owner, delay, fire, index, 1)
+            else:
+                kernel.post(delay, fire, index, 1)
+    kernel.run_until_idle()
+
+
+class TestOrderEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(DELAYS),
+                st.sampled_from(OWNERS),
+                st.booleans(),
+            ),
+            max_size=60,
+        )
+    )
+    def test_two_shard_merge_matches_single_shard_order(self, operations):
+        """Random cross-shard traffic fires in exactly the order the
+        single-shard engine produces — including the cascades each event
+        spawns mid-firing, which traverse the handoff outbox."""
+        reference = Engine()
+        reference_fired: list = []
+        _drive(reference, operations, reference_fired, routed=False)
+
+        sharded = _two_shard_engine()
+        sharded_fired: list = []
+        _drive(sharded, operations, sharded_fired, routed=True)
+
+        assert sharded_fired == reference_fired
+        assert sharded.pending == sharded.cancelled_pending
+        assert sharded.now == reference.now
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(DELAYS),
+                st.sampled_from(OWNERS),
+                st.booleans(),
+            ),
+            max_size=60,
+        )
+    )
+    def test_lookahead_batches_without_changing_order(self, operations):
+        """A non-zero lookahead only changes *when* outboxes merge (the
+        batching), never *what* fires — same order, same final clock."""
+        reference_fired: list = []
+        _drive(Engine(), operations, reference_fired, routed=False)
+
+        sharded = _two_shard_engine(lookahead=0.5)
+        sharded_fired: list = []
+        _drive(sharded, operations, sharded_fired, routed=True)
+
+        assert sharded_fired == reference_fired
+        # Every handoff eventually landed in a batch: the books balance.
+        assert sharded.sync.handoffs == sharded.sync.batched_events
+
+    def test_quantised_tick_matches_single_shard(self):
+        """Tick quantisation rounds identically on both kernels, with the
+        stable in-bucket sort by raw timestamps preserved."""
+        operations = [(d, i % 4, False) for i, d in enumerate([0.3, 0.7, 1.1, 0.2, 1.9, 0.7])]
+        reference = Engine(tick=0.5)
+        reference_fired: list = []
+        _drive(reference, operations, reference_fired, routed=False)
+
+        sharded = ShardedEngine(2, tick=0.5)
+        for owner in OWNERS:
+            sharded.assign(owner, owner % 2)
+        sharded_fired: list = []
+        _drive(sharded, operations, sharded_fired, routed=True)
+
+        assert sharded_fired == reference_fired
+        assert sharded.now == reference.now
+
+
+class TestKernelSemantics:
+    def test_error_surface_matches_engine(self):
+        engine = _two_shard_engine()
+        with pytest.raises(SimulationError, match="negative delay"):
+            engine.post(-0.1, lambda: None)
+        with pytest.raises(SimulationError, match="negative delay"):
+            engine.schedule_for(0, -0.1, lambda: None)
+        engine.post(1.0, lambda: None)
+        engine.run_until_idle()
+        with pytest.raises(SimulationError, match="in the past"):
+            engine.post_at(0.5, lambda: None)
+        with pytest.raises(SimulationError, match="deadline in the past"):
+            engine.run_until(0.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(SimulationError, match="shard count"):
+            ShardedEngine(0)
+        with pytest.raises(SimulationError, match="tick"):
+            ShardedEngine(2, tick=0.0)
+        with pytest.raises(SimulationError, match="lookahead"):
+            ShardedEngine(2, lookahead=-1.0)
+        with pytest.raises(SimulationError, match="out of range"):
+            ShardedEngine(2).assign("n", 2)
+
+    def test_runaway_guard(self):
+        engine = _two_shard_engine()
+
+        def rescheduler():
+            engine.post(0.1, rescheduler)
+
+        engine.post(0.1, rescheduler)
+        with pytest.raises(SimulationError, match="runaway"):
+            engine.run_until_idle(max_events=100)
+
+    def test_cancelled_accounting_and_compaction(self):
+        engine = _two_shard_engine()
+        handles = [engine.schedule_for(i % 4, 1.0 + i, lambda: None) for i in range(10)]
+        engine.post(1.0, lambda: None)
+        assert engine.pending == 11
+        for handle in handles[:4]:
+            handle.cancel()
+        assert engine.live_pending == 7
+        assert engine.cancelled_pending == 4
+        assert engine.compact() == 4
+        assert engine.pending == 7
+        assert engine.cancelled_pending == 0
+
+    def test_partition_is_contiguous_and_balanced(self):
+        engine = ShardedEngine(4)
+        nodes = list(range(10))
+        engine.partition(nodes)
+        shards = [engine.shard_of(n) for n in nodes]
+        assert shards == sorted(shards)  # contiguous blocks
+        assert set(shards) == {0, 1, 2, 3}
+
+    def test_window_grants_reflect_lookahead(self):
+        engine = _two_shard_engine(lookahead=2.0)
+        engine.schedule_for(0, 5.0, lambda: None)  # shard 0
+        engine.schedule_for(1, 9.0, lambda: None)  # shard 1
+        grants = engine.window_grants()
+        assert grants == (
+            WindowGrant(shard=0, until=11.0),  # other shard's head 9.0 + 2.0
+            WindowGrant(shard=1, until=7.0),
+        )
+
+    def test_sync_ledger_counts_handoffs(self):
+        engine = _two_shard_engine(lookahead=1.0)
+        fired = []
+
+        def hop(owner):
+            fired.append(owner)
+            if owner < 3:
+                engine.post_for(owner + 1, 1.0, hop, owner + 1)
+
+        engine.post_for(0, 1.0, hop, 0)
+        engine.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+        # Each hop crosses the shard stripe: 0->1, 1->2, 2->3.
+        assert engine.sync.handoffs == 3
+        assert engine.sync.batched_events == 3
+        assert engine.sync.lookahead_violations == 0
+        snapshot = engine.sync.snapshot()
+        assert snapshot["handoffs"] == 3
+
+
+class TestSnapshots:
+    def test_freeze_thaw_round_trip(self):
+        engine = _two_shard_engine()
+        engine.schedule_for(0, 1.0, print, "a")
+        engine.schedule_for(1, 2.0, print, "b")
+        doomed = engine.schedule_for(2, 3.0, print, "c")
+        doomed.cancel()
+        frozen = pickle.dumps(engine)
+        thawed = pickle.loads(frozen)
+        assert thawed.pending == 2  # cancelled timer dropped in transit
+        assert thawed.cancelled_pending == 0
+        assert thawed.now == engine.now
+        # Snapshot form is canonical: re-freezing is byte-stable.
+        assert pickle.dumps(thawed) == pickle.dumps(pickle.loads(frozen))
+        # And the thawed copy keeps merging correctly.
+        thawed.post_for(3, 0.5, print, "d")
+        assert thawed.run_until_idle() == 3
+
+    def test_mid_window_snapshot_refused(self):
+        engine = _two_shard_engine()
+        # A cross-shard post made *while* shard 0 is firing lands in the
+        # outbox; stepping exactly once leaves the window open.
+        engine.post_for(0, 1.0, engine.post_for, 1, 5.0, print, "x")
+        assert engine.step() is True
+        assert engine.sync.handoffs == 1
+        with pytest.raises(SimulationError, match="mid-window"):
+            pickle.dumps(engine)
+        # Draining closes the window; freezing works again.
+        engine.run_until_idle()
+        assert pickle.loads(pickle.dumps(engine)).pending == 0
+
+
+class TestShardProtocol:
+    def test_handoff_batch_is_sized_and_frozen(self):
+        batch = HandoffBatch(src_shard=0, dst_shard=1, entries=((1.0, 1.0, 0, None, None),))
+        assert len(batch) == 1
+        with pytest.raises(AttributeError):
+            batch.src_shard = 2
+
+    def test_sync_stats_snapshot_shape(self):
+        stats = ShardSyncStats()
+        assert stats.snapshot() == {
+            "handoffs": 0,
+            "batches": 0,
+            "batched_events": 0,
+            "lookahead_violations": 0,
+        }
