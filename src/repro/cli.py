@@ -346,6 +346,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         snapshot_cache=not args.no_snapshot_cache,
         kernel=args.kernel,
         shards=args.shards,
+        trace=args.trace,
+        trace_dir=args.trace_out,
         out_dir=None if args.no_artifacts else args.out,
         timings_dir=args.timings_out,
         check=args.check,
@@ -353,6 +355,93 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for run in runs.values():
         print(f"\n===== {run.spec.id} =====")
         print(run.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one scenario with dissemination tracing and inspect the result.
+
+    Summary mode (default) prints one row per traced message: deliveries,
+    tree depth, fan-out, redundancy, time-to-full-delivery.  With
+    ``--message`` it dumps the reconstructed broadcast tree of one message
+    as Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
+    """
+    import json
+
+    # Imported lazily, mirroring cmd_bench: the orchestrator pulls in
+    # multiprocessing machinery the figure commands never need.
+    from .experiments.runner import run_scenarios
+    from .obs.trace import DisseminationTrace
+
+    spec = get_scenario(args.scenario)  # raises with the available ids
+    if args.tier not in spec.tiers:
+        raise ConfigurationError(
+            f"scenario {args.scenario!r} has no {args.tier!r} tier "
+            f"(available: {', '.join(sorted(spec.tiers))})"
+        )
+    traces: dict[str, list] = {}
+    run_scenarios(
+        [args.scenario],
+        args.tier,
+        workers=args.workers,
+        root_seed=args.seed,
+        n=args.n,
+        messages=args.messages,
+        replicates=args.replicates,
+        cells=args.cells != "off",
+        snapshot_cache=not args.no_snapshot_cache,
+        kernel=args.kernel,
+        shards=args.shards,
+        trace=True,
+        traces=traces,
+        progress=lambda note: print(f"  [{args.tier}] {note}", file=sys.stderr),
+    )
+    entries = traces.get(args.scenario, [])
+    entry = next((e for e in entries if e["replicate"] == args.replicate), None)
+    if entry is None:
+        raise ConfigurationError(
+            f"replicate {args.replicate} not traced "
+            f"(have {[e['replicate'] for e in entries]})"
+        )
+    view = DisseminationTrace(entry["segments"])
+    if args.message is not None:
+        try:
+            message = view.message(args.message)
+        except KeyError as error:
+            raise ConfigurationError(
+                f"{error.args[0]} — run without --message for the id list"
+            ) from error
+        payload = json.dumps(message.chrome_trace(), indent=2, sort_keys=True) + "\n"
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(payload)
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(payload, end="")
+        return 0
+    print(
+        format_table(
+            [
+                "message",
+                "deliveries",
+                "depth",
+                "max fanout",
+                "redundant",
+                "acks",
+                "drops",
+                "t_full (s)",
+            ],
+            view.summary_rows(),
+            title=(
+                f"dissemination trace: {args.scenario} tier={args.tier} "
+                f"replicate={args.replicate}"
+            ),
+        )
+    )
+    print(
+        f"{view.segment_count} segment(s), {view.record_count} record(s), "
+        f"{view.dropped_records} dropped"
+    )
     return 0
 
 
@@ -461,6 +550,7 @@ def cmd_service_bench(args: argparse.Namespace) -> int:
                 rate=args.rate,
                 seed=args.seed,
                 chaos=not args.no_chaos,
+                metrics_port=args.metrics_port,
             ),
             timeout=budget,
         )
@@ -601,10 +691,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each scenario's shape assertions on the results",
     )
     p.add_argument(
+        "--trace", action="store_true",
+        help="collect dissemination traces and write TRACE_/METRICS_ "
+        "files alongside (never into) the BENCH artifacts; traces are "
+        "deterministic but live in their own files",
+    )
+    p.add_argument(
+        "--trace-out", type=pathlib.Path, default=None, metavar="DIR",
+        help="directory for TRACE_/METRICS_ files (default: the --out "
+        "directory)",
+    )
+    p.add_argument(
         "--list", action="store_true",
         help="list registered scenarios and exit",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one scenario's dissemination and reconstruct broadcast trees",
+    )
+    p.add_argument(
+        "--scenario", default="fig2_reliability", metavar="ID",
+        help="scenario to trace (default: fig2_reliability)",
+    )
+    p.add_argument(
+        "--tier", choices=list(TIER_NAMES), default="smoke",
+        help="scale tier (default: smoke)",
+    )
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (traces are identical at any count)")
+    p.add_argument("--seed", type=int, default=42, help="sweep root seed")
+    p.add_argument("--n", type=int, default=None,
+                   help="override the tier's system size")
+    p.add_argument("--messages", type=int, default=None,
+                   help="override the tier's messages per measurement batch")
+    p.add_argument("--replicates", type=int, default=None,
+                   help="override the tier's replicate count")
+    p.add_argument("--replicate", type=int, default=0,
+                   help="which replicate to inspect (default: 0)")
+    p.add_argument("--cells", choices=["auto", "off"], default="auto",
+                   help="cell sharding (traces are identical either way)")
+    p.add_argument("--no-snapshot-cache", action="store_true",
+                   help="rebuild stabilised bases instead of thawing cached "
+                   "snapshots (traces are identical either way)")
+    p.add_argument("--kernel", choices=["single", "sharded"], default=None,
+                   help="simulation kernel override")
+    p.add_argument("--shards", type=int, default=None, metavar="K",
+                   help="shard count for --kernel sharded")
+    p.add_argument(
+        "--message", default=None, metavar="KEY",
+        help="dump one message's broadcast tree as Chrome trace JSON; KEY "
+        "is a 'segment/origin#seq' id from the summary table (a bare id "
+        "works when unique)",
+    )
+    p.add_argument(
+        "--out", type=pathlib.Path, default=None, metavar="FILE",
+        help="write the Chrome trace JSON here instead of stdout "
+        "(only with --message)",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "chaos",
@@ -649,6 +795,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", type=pathlib.Path, default=None, metavar="DIR",
         help="write BENCH_service_live.json / TIMINGS_service_live.json here",
+    )
+    p.add_argument(
+        "--metrics-port", type=int, default=0, metavar="PORT",
+        help="TCP port for the Prometheus exposition endpoint the bench "
+        "serves and self-scrapes (default: an ephemeral port)",
     )
     p.set_defaults(func=cmd_service_bench)
 

@@ -32,6 +32,15 @@ ARTIFACT_SCHEMA = "repro-bench/1"
 #: Version tag of the wall-clock trending artifacts (``TIMINGS_*.json``).
 TIMINGS_SCHEMA = "repro-timings/1"
 
+#: Version tag of the dissemination-trace artifacts (``TRACE_*.json``).
+#: Traces are deterministic (pure functions of the seed, like ``BENCH_*``)
+#: but live in their own files: tracing must never touch a BENCH byte.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Version tag of the metrics-snapshot artifacts (``METRICS_*.json``),
+#: derived from the trace and equally deterministic.
+METRICS_SCHEMA = "repro-metrics/1"
+
 
 # ----------------------------------------------------------------------
 # JSON artifacts
@@ -127,6 +136,90 @@ def load_artifact(path: pathlib.Path | str) -> dict:
         raise ValueError(
             f"unsupported artifact schema {schema!r} in {path} "
             f"(expected {ARTIFACT_SCHEMA!r})"
+        )
+    return data
+
+
+def trace_filename(scenario_id: str) -> str:
+    """The on-disk name for one scenario's dissemination trace."""
+    return f"TRACE_{scenario_id}.json"
+
+
+def metrics_filename(scenario_id: str) -> str:
+    """The on-disk name for one scenario's metrics snapshot."""
+    return f"METRICS_{scenario_id}.json"
+
+
+def trace_artifact(
+    scenario_id: str,
+    *,
+    tier: str,
+    root_seed: int,
+    replicates: Sequence[Mapping[str, object]],
+) -> dict:
+    """The ``TRACE_<scenario>.json`` payload.
+
+    ``replicates`` entries are ``{"replicate": i, "segments": [...]}``
+    with segments flattened in cell-enumeration order, so the trace is
+    byte-identical across the workers × cells × snapshot-cache matrix.
+    """
+    return {
+        "schema": TRACE_SCHEMA,
+        "scenario": scenario_id,
+        "tier": tier,
+        "root_seed": root_seed,
+        "replicates": list(replicates),
+    }
+
+
+def metrics_artifact(
+    scenario_id: str,
+    *,
+    tier: str,
+    root_seed: int,
+    replicates: Sequence[Mapping[str, object]],
+) -> dict:
+    """The ``METRICS_<scenario>.json`` payload: per-replicate counter
+    snapshots derived from the dissemination trace (deterministic)."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "scenario": scenario_id,
+        "tier": tier,
+        "root_seed": root_seed,
+        "replicates": list(replicates),
+    }
+
+
+def write_trace_file(
+    directory: pathlib.Path | str, trace: Mapping[str, object]
+) -> pathlib.Path:
+    """Persist one scenario's ``TRACE_*.json``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / trace_filename(str(trace["scenario"]))
+    path.write_text(encode_artifact(trace))
+    return path
+
+
+def write_metrics_file(
+    directory: pathlib.Path | str, metrics: Mapping[str, object]
+) -> pathlib.Path:
+    """Persist one scenario's ``METRICS_*.json``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / metrics_filename(str(metrics["scenario"]))
+    path.write_text(encode_artifact(metrics))
+    return path
+
+
+def load_trace(path: pathlib.Path | str) -> dict:
+    """Read a trace artifact back; raises ``ValueError`` on schema mismatch."""
+    data = json.loads(pathlib.Path(path).read_text())
+    schema = data.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(
+            f"unsupported trace schema {schema!r} in {path} "
+            f"(expected {TRACE_SCHEMA!r})"
         )
     return data
 

@@ -53,6 +53,8 @@ from typing import Callable, Optional, Sequence
 
 from ..common.errors import ConfigurationError
 from ..common.rng import SeedSequence
+from ..obs.context import activate_collector, deactivate_collector
+from ..obs.trace import DisseminationTrace, TraceCollector
 from ..sim.engine import events_fired_total
 from .registry import (
     CellKey,
@@ -65,8 +67,12 @@ from .reporting import (
     ARTIFACT_SCHEMA,
     TIMINGS_SCHEMA,
     format_timings,
+    metrics_artifact,
+    trace_artifact,
     write_artifact,
+    write_metrics_file,
     write_timings_file,
+    write_trace_file,
 )
 from .snapshots import SnapshotCache
 
@@ -139,6 +145,10 @@ class WorkUnit:
     kernel: Optional[str] = None
     #: Shard-count override for the sharded kernel.
     shards: Optional[int] = None
+    #: Collect a dissemination trace while the unit runs.  Never part of
+    #: the BENCH artifact: trace output travels in ``UnitOutcome.trace``
+    #: and lands in the separate ``TRACE_*``/``METRICS_*`` files.
+    trace: bool = False
 
     def resolve(
         self, snapshots: Optional[SnapshotCache] = None
@@ -217,6 +227,10 @@ class UnitOutcome:
     result: dict
     elapsed: float
     events: int = 0
+    #: JSON-safe trace segments collected while the unit ran (``None``
+    #: unless the unit asked for tracing); assembled into ``TRACE_*``
+    #: artifacts by the orchestrator, never into ``BENCH_*``.
+    trace: Optional[list] = None
 
 
 def _affinity_key(unit: WorkUnit) -> tuple:
@@ -280,11 +294,18 @@ def _execute_unit(unit: WorkUnit) -> UnitOutcome:
     events_before = events_fired_total()
     snapshots = _worker_snapshots() if unit.snapshot_cache else None
     spec, context = unit.resolve(snapshots)
-    if unit.cell is None:
-        result = spec.run(context)
-    else:
-        assert spec.run_cell is not None  # build_units only emits cells for celled specs
-        result = spec.run_cell(context, unit.cell)
+    collector = TraceCollector() if unit.trace else None
+    if collector is not None:
+        activate_collector(collector)
+    try:
+        if unit.cell is None:
+            result = spec.run(context)
+        else:
+            assert spec.run_cell is not None  # build_units only emits cells for celled specs
+            result = spec.run_cell(context, unit.cell)
+    finally:
+        if collector is not None:
+            deactivate_collector()
     return UnitOutcome(
         scenario_id=unit.scenario_id,
         replicate=unit.replicate,
@@ -293,6 +314,7 @@ def _execute_unit(unit: WorkUnit) -> UnitOutcome:
         result=result,
         elapsed=time.perf_counter() - started,
         events=events_fired_total() - events_before,
+        trace=collector.export() if collector is not None else None,
     )
 
 
@@ -452,6 +474,7 @@ def build_units(
     snapshot_cache: bool = True,
     kernel: Optional[str] = None,
     shards: Optional[int] = None,
+    trace: bool = False,
 ) -> list[WorkUnit]:
     """Expand scenarios into the flat, deterministic work-unit list.
 
@@ -478,6 +501,7 @@ def build_units(
                 snapshot_cache=snapshot_cache,
                 kernel=kernel,
                 shards=shards,
+                trace=trace,
             )
             if cells and spec.supports_cells:
                 assert spec.cells is not None
@@ -503,6 +527,8 @@ def run_scenarios(
     snapshot_cache: bool = True,
     kernel: Optional[str] = None,
     shards: Optional[int] = None,
+    trace: bool = False,
+    traces: Optional[dict[str, list]] = None,
     progress: Optional[Callable[[str], None]] = None,
     timings: Optional[SweepTimings] = None,
 ) -> dict[str, ScenarioRun]:
@@ -513,6 +539,13 @@ def run_scenarios(
     caching or completion order.  The ``kernel``/``shards`` overrides
     select the simulation kernel; artifacts are byte-identical across
     them (the sharded determinism pins depend on it).
+
+    With ``trace``, workers collect dissemination-trace segments; pass a
+    dict as ``traces`` to receive, per scenario id, one
+    ``{"replicate", "segments"}`` record per replicate with segments
+    flattened in cell-enumeration order (the same order a monolithic run
+    produces, so the collected trace is identical across the workers ×
+    cells × snapshot-cache matrix).  ``BENCH_*`` artifacts are unaffected.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1: {workers}")
@@ -521,6 +554,7 @@ def run_scenarios(
         scenario_ids, tier,
         root_seed=root_seed, n=n, messages=messages, replicates=replicates,
         cells=cells, snapshot_cache=snapshot_cache, kernel=kernel, shards=shards,
+        trace=trace,
     )
     unit_by_key = {(u.scenario_id, u.replicate, u.cell): u for u in units}
     completed: list[UnitOutcome] = []
@@ -555,6 +589,7 @@ def run_scenarios(
     whole_results: dict[tuple[str, int], tuple[int, dict]] = {}
     cell_results: dict[tuple[str, int], dict[CellKey, dict]] = {}
     cell_seeds: dict[tuple[str, int], int] = {}
+    unit_traces: dict[tuple[str, int], dict[Optional[CellKey], list]] = {}
     for outcome in completed:
         key = (outcome.scenario_id, outcome.replicate)
         if outcome.cell is None:
@@ -562,6 +597,8 @@ def run_scenarios(
         else:
             cell_results.setdefault(key, {})[outcome.cell] = outcome.result
             cell_seeds[key] = outcome.seed
+        if outcome.trace is not None:
+            unit_traces.setdefault(key, {})[outcome.cell] = outcome.trace
 
     runs: dict[str, ScenarioRun] = {}
     for scenario_id in scenario_ids:
@@ -571,8 +608,10 @@ def run_scenarios(
         if replicates is not None:
             config = replace(config, replicates=replicates)
         records = []
+        trace_records = []
         for replicate in range(count):
             key = (scenario_id, replicate)
+            context = None
             if key in whole_results:
                 seed, result = whole_results[key]
             else:
@@ -585,6 +624,28 @@ def run_scenarios(
                 ).resolve()
                 result = spec.merge_cells(context, cell_results[key])
             records.append({"replicate": replicate, "seed": seed, "result": result})
+            if traces is not None and trace:
+                cell_map = unit_traces.get(key, {})
+                if None in cell_map:
+                    segments = list(cell_map[None])
+                elif spec.cells is not None and cell_map:
+                    # Flatten per-cell segments in the scenario's own cell
+                    # enumeration order — the order the monolithic path
+                    # produces them in — so scheduling never shows.
+                    if context is None:
+                        _, context = WorkUnit(
+                            scenario_id=scenario_id, tier=tier, replicate=replicate,
+                            root_seed=root_seed, n=n, messages=messages,
+                            kernel=kernel, shards=shards,
+                        ).resolve()
+                    segments = []
+                    for cell_key in spec.cells(context):
+                        segments.extend(cell_map.get(cell_key, ()))
+                else:
+                    segments = []
+                trace_records.append({"replicate": replicate, "segments": segments})
+        if traces is not None and trace:
+            traces[scenario_id] = trace_records
         runs[scenario_id] = ScenarioRun(
             spec=spec,
             tier=tier,
@@ -631,6 +692,54 @@ def write_timings_artifacts(
     ]
 
 
+def write_trace_artifacts(
+    traces: dict[str, list],
+    directory: pathlib.Path | str,
+    *,
+    tier: str,
+    root_seed: int,
+) -> list[pathlib.Path]:
+    """Persist ``TRACE_*`` and trace-derived ``METRICS_*`` files.
+
+    Both families are deterministic (pure functions of the seed, like
+    ``BENCH_*``) but live strictly apart so tracing can never perturb a
+    benchmark artifact byte.
+    """
+    paths: list[pathlib.Path] = []
+    for scenario_id in sorted(traces):
+        replicates = traces[scenario_id]
+        paths.append(
+            write_trace_file(
+                directory,
+                trace_artifact(
+                    scenario_id, tier=tier, root_seed=root_seed, replicates=replicates
+                ),
+            )
+        )
+        metric_rows = []
+        for entry in replicates:
+            view = DisseminationTrace(entry["segments"])
+            metric_rows.append(
+                {
+                    "replicate": entry["replicate"],
+                    "segments": view.segment_count,
+                    "records": view.record_count,
+                    "dropped_records": view.dropped_records,
+                    "messages": len(view.message_keys()),
+                    "counters": view.kind_counts(),
+                }
+            )
+        paths.append(
+            write_metrics_file(
+                directory,
+                metrics_artifact(
+                    scenario_id, tier=tier, root_seed=root_seed, replicates=metric_rows
+                ),
+            )
+        )
+    return paths
+
+
 def run_and_report(
     scenario_ids: Sequence[str],
     tier: str,
@@ -644,6 +753,8 @@ def run_and_report(
     snapshot_cache: bool = True,
     kernel: Optional[str] = None,
     shards: Optional[int] = None,
+    trace: bool = False,
+    trace_dir: Optional[pathlib.Path | str] = None,
     out_dir: Optional[pathlib.Path | str] = None,
     timings_dir: Optional[pathlib.Path | str] = None,
     check: bool = False,
@@ -655,15 +766,22 @@ def run_and_report(
     (default stderr) and — when ``timings_dir`` (default: ``out_dir``) is
     set — persisted as ``TIMINGS_<scenario>.json`` for CI trending.  It
     never enters the ``BENCH_*`` artifacts, which must stay deterministic.
+
+    With ``trace``, dissemination traces are collected and written as
+    ``TRACE_*``/``METRICS_*`` files to ``trace_dir`` (default:
+    ``out_dir``); a stderr summary surfaces record and drop counts so
+    silent trace truncation is visible.
     """
     stream = stream if stream is not None else sys.stderr
     timings = SweepTimings()
+    traces: Optional[dict[str, list]] = {} if trace else None
     runs = run_scenarios(
         scenario_ids, tier,
         workers=workers, root_seed=root_seed,
         n=n, messages=messages, replicates=replicates,
         cells=cells, snapshot_cache=snapshot_cache,
         kernel=kernel, shards=shards,
+        trace=trace, traces=traces,
         progress=lambda note: print(f"  [{tier}] {note}", file=stream),
         timings=timings,
     )
@@ -679,9 +797,29 @@ def run_and_report(
         file=stream,
     )
     print(timings.format_cache(), file=stream)
+    if traces is not None:
+        for scenario_id in sorted(traces):
+            views = [
+                DisseminationTrace(entry["segments"]) for entry in traces[scenario_id]
+            ]
+            records = sum(view.record_count for view in views)
+            dropped = sum(view.dropped_records for view in views)
+            segments = sum(view.segment_count for view in views)
+            print(
+                f"trace [{scenario_id}]: {segments} segment(s), "
+                f"{records} record(s), {dropped} dropped",
+                file=stream,
+            )
     if out_dir is not None:
         for path in write_artifacts(runs, out_dir):
             print(f"  wrote {path}", file=stream)
+    if traces is not None:
+        trace_target = trace_dir if trace_dir is not None else out_dir
+        if trace_target is not None:
+            for path in write_trace_artifacts(
+                traces, trace_target, tier=tier, root_seed=root_seed
+            ):
+                print(f"  wrote {path}", file=stream)
     if timings_dir is None:
         timings_dir = out_dir
     if timings_dir is not None:

@@ -25,6 +25,7 @@ from ..common.ids import NodeId, simulated_node_ids
 from ..common.rng import SeedSequence
 from ..gossip.tracker import BroadcastSummary, BroadcastTracker
 from ..metrics.graph import OverlaySnapshot
+from ..obs.context import current_collector
 from ..protocols.base import PeerSamplingService
 from ..protocols.registry import get_stack
 from ..sim.engine import Engine
@@ -74,6 +75,13 @@ class Scenario:
             loss_rate=loss_rate,
         )
         self.tracker = BroadcastTracker()
+        # Dissemination tracing: when a collector is active (the runner's
+        # --trace mode), every scenario lifetime records into its own
+        # segment.  One module-global read at construction time; with
+        # tracing off this stays None and the network pays one if-check.
+        collector = current_collector()
+        if collector is not None:
+            self.network.trace = collector.new_segment()
         self._rng = self.seeds.stream("harness")
         # Optional per-delivery recorder (see set_delivery_recorder); set
         # before the node loop so _build_stack can consult it.
@@ -344,7 +352,15 @@ class Scenario:
         if self.engine.live_pending:
             raise SimulationError("cannot freeze a scenario with pending events")
         self.engine.compact()
-        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        # Trace sinks are observers of one scenario lifetime, never part of
+        # the frozen state (same discipline as delivery recorders): strip
+        # around the dump, thaw attaches a fresh segment.
+        trace = self.network.trace
+        self.network.trace = None
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            self.network.trace = trace
 
     @staticmethod
     def thaw(frozen: bytes) -> "Scenario":
@@ -355,6 +371,9 @@ class Scenario:
         """
         scenario: Scenario = pickle.loads(frozen)
         scenario.tracker.drop_summaries()
+        collector = current_collector()
+        if collector is not None:
+            scenario.network.trace = collector.new_segment()
         return scenario
 
     def clone(self) -> "Scenario":

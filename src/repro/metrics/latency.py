@@ -63,8 +63,24 @@ class LatencyHistogram:
     def p99(self) -> Optional[float]:
         return self.percentile(99.0)
 
+    def p999(self) -> Optional[float]:
+        return self.percentile(99.9)
+
     def max(self) -> Optional[float]:
         return max(self._samples) if self._samples else None
+
+    def summary(self) -> dict:
+        """Unscaled quantile summary (seconds), consumed by the metrics
+        registry (:func:`repro.obs.collectors.bind_latency`).  Empty
+        histograms report zeros so gauges always have a value."""
+        return {
+            "count": self.count,
+            "mean": self.mean() or 0.0,
+            "p50": self.p50() or 0.0,
+            "p99": self.p99() or 0.0,
+            "p999": self.p999() or 0.0,
+            "max": self.max() or 0.0,
+        }
 
     def to_dict(self, *, scale: float = 1000.0) -> dict:
         """Summary row for artifacts; latencies scaled (default to ms)."""

@@ -1,0 +1,38 @@
+"""Process-local activation point for dissemination tracing.
+
+A :class:`~repro.obs.trace.TraceCollector` is *activated* around a unit of
+work (the runner does this per :class:`~repro.experiments.runner.WorkUnit`
+when ``--trace`` is on).  While active, every
+:class:`~repro.experiments.scenario.Scenario` built or thawed attaches a
+fresh trace segment to its network; with no active collector, construction
+is bit-for-bit what it was before tracing existed.
+
+The lookup happens once per scenario construction — never on the
+per-message hot path — so the pay-for-what-you-use budget of tracing-off
+runs is a single module-global read at scenario-build time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .trace import TraceCollector
+
+_active: Optional[TraceCollector] = None
+
+
+def activate_collector(collector: TraceCollector) -> None:
+    """Make ``collector`` the process-wide trace sink for new scenarios."""
+    global _active
+    _active = collector
+
+
+def deactivate_collector() -> None:
+    """Clear the active collector (idempotent)."""
+    global _active
+    _active = None
+
+
+def current_collector() -> Optional[TraceCollector]:
+    """The active collector, or ``None`` when tracing is off."""
+    return _active

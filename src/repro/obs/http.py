@@ -1,0 +1,112 @@
+"""Dependency-free Prometheus exposition endpoint (asyncio).
+
+A minimal HTTP/1.0-ish server that answers ``GET /metrics`` with the
+registry's text exposition.  It exists so the live service layer can be
+scraped without pulling in an HTTP framework; it is not a general web
+server and deliberately supports nothing else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve ``registry.render_prometheus()`` over a local TCP socket."""
+
+    def __init__(
+        self, registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._registry = registry
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("metrics server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    async def start(self) -> "MetricsServer":
+        self._server = await asyncio.start_server(self._handle, self._host, self._port)
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers until the blank line; we never need their values.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            if parts and parts[0] != "GET":
+                await self._respond(writer, 405, "method not allowed\n", "text/plain")
+            elif path in ("/metrics", "/"):
+                await self._respond(writer, 200, self._registry.render_prometheus(), CONTENT_TYPE)
+            else:
+                await self._respond(writer, 404, "not found\n", "text/plain")
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, body: str, content_type: str
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}.get(status, "OK")
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+
+async def scrape(host: str, port: int, path: str = "/metrics") -> str:
+    """Fetch one exposition document from a :class:`MetricsServer`."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1"))
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    text = raw.decode("utf-8", "replace")
+    head, _, body = text.partition("\r\n\r\n")
+    status = head.split(" ", 2)[1] if " " in head else "?"
+    if status != "200":
+        raise RuntimeError(f"metrics scrape failed: HTTP {status}")
+    return body

@@ -146,6 +146,11 @@ class AsyncioTransport(Transport):
         #: Service hooks (see :data:`SendGuard` / :data:`SendObserver`).
         self.send_guard: Optional[SendGuard] = None
         self.send_observer: Optional[SendObserver] = None
+        #: Optional dissemination-trace sink with the same ``record(time,
+        #: kind, src, dst, message)`` interface the simulator's Network
+        #: uses (e.g. :class:`repro.obs.trace.TraceSegment`).  ``None``
+        #: (the default) keeps the hot path at one ``if`` check.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Transport interface
@@ -171,6 +176,8 @@ class AsyncioTransport(Transport):
         # Encode here, synchronously: an unencodable message is a caller
         # bug and must surface in the caller, not in a detached task.
         frame = (json.dumps(encode_message(message)) + "\n").encode("utf-8")
+        if self.trace is not None:
+            self.trace.record(self._loop.time(), "send", self._local, dst, message)
         guard = self.send_guard
         if guard is not None and not guard(dst):
             self.frames_rejected += 1
@@ -463,6 +470,10 @@ class AsyncioTransport(Transport):
                 except CodecError:
                     continue
                 self.frames_received += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        self._loop.time(), "deliver", connection.peer, self._local, message
+                    )
                 self._on_message(connection.peer, message)
         except (OSError, ConnectionError, asyncio.CancelledError):
             pass

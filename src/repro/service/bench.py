@@ -62,6 +62,7 @@ async def run_service_bench(
     rate: float = 60.0,
     seed: int = 7,
     chaos: bool = True,
+    metrics_port: int = 0,
 ) -> dict:
     """Run the benchmark; returns the ``repro-service-live/1`` report."""
     if nodes < 2:
@@ -255,6 +256,35 @@ async def run_service_bench(
         ],
     }
 
+    # --- unified metrics plane: serve one scrape of the run -------------
+    # The registry's collectors read the live facades/transports, so the
+    # scrape happens before detach/stop.  The exposition covers breaker
+    # state, epoch/staleness audits and topic rate-limit counters — the
+    # same families an external Prometheus would collect from a long-lived
+    # deployment.
+    from ..obs.http import MetricsServer, scrape
+
+    registry = service.metrics_registry()
+    metrics_server = await MetricsServer(registry, port=metrics_port).start()
+    try:
+        exposition = await scrape(metrics_server.host, metrics_server.port)
+        endpoint = f"http://{metrics_server.host}:{metrics_server.port}/metrics"
+    finally:
+        await metrics_server.close()
+    families = sorted(
+        {
+            line.split("{", 1)[0].split(" ", 1)[0]
+            for line in exposition.splitlines()
+            if line and not line.startswith("#")
+        }
+    )
+    report["metrics"] = {
+        "endpoint": endpoint,
+        "exposition_bytes": len(exposition),
+        "families": families,
+        "snapshot": registry.snapshot(),
+    }
+
     for task in drains:
         task.cancel()
     await asyncio.gather(*drains, return_exceptions=True)
@@ -314,6 +344,12 @@ def format_report(report: dict) -> str:
         f"stale handshakes={staleness['stale_handshakes']} "
         f"stale frames={staleness['frames_stale']}"
     )
+    metrics = report.get("metrics")
+    if metrics:
+        lines.append(
+            f"  metrics: scraped {len(metrics['families'])} families "
+            f"({metrics['exposition_bytes']} bytes) from {metrics['endpoint']}"
+        )
     return "\n".join(lines)
 
 

@@ -330,10 +330,28 @@ class PubSubCluster:
         self.config = config if config is not None else ServiceConfig()
         self.facades = [PubSubNode(node, config=self.config) for node in cluster.nodes]
         self.reattached = 0
+        self._metrics = None
         cluster.restart_listeners.append(self._on_restart)
 
     def facade(self, index: int) -> PubSubNode:
         return self.facades[index]
+
+    def metrics_registry(self):
+        """The cluster's unified metrics registry (built lazily, cached).
+
+        Covers every facade's service counters, circuit-breaker state,
+        token-bucket denials and transport epoch/staleness audits.  The
+        collector reads the facade list at scrape time, so facades swapped
+        in by a node restart are picked up automatically.  Costs nothing
+        until the first snapshot/scrape.
+        """
+        if self._metrics is None:
+            from ..obs.collectors import bind_pubsub_cluster
+            from ..obs.metrics import MetricsRegistry
+
+            self._metrics = MetricsRegistry()
+            bind_pubsub_cluster(self._metrics, self)
+        return self._metrics
 
     def subscribe(self, index: int, topic: str, *, client: str = "") -> Subscription:
         return self.facades[index].subscribe(topic, client=client)

@@ -54,9 +54,11 @@ class EventTrace:
     ) -> None:
         if len(self._records) >= self._limit:
             # Discard the oldest half in one go; trimming one-by-one would be
-            # quadratic over the life of the trace.
-            keep = self._limit // 2
-            self._dropped += len(self._records) - keep
+            # quadratic over the life of the trace.  Keep at least one record:
+            # with limit < 2 the floor division yields 0 and ``[-0:]`` would
+            # keep *everything*, growing the buffer without bound.
+            keep = max(1, self._limit // 2)
+            self._dropped += max(0, len(self._records) - keep)
             self._records = self._records[-keep:]
         message_type = type(message).__name__ if message is not None else "-"
         self._records.append(TraceRecord(time, kind, src, dst, message_type))

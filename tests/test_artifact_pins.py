@@ -129,6 +129,17 @@ def test_sharded_kernel_fig2_matches_single_shard_pin():
     }
 
 
+def test_tracing_on_fig2_matches_pin():
+    # Dissemination tracing (PR 9) is a pure observer: running fig2 with
+    # the collector active must hash to the same PR-2 value — tracing can
+    # never perturb a benchmark artifact byte or an RNG draw.
+    traces: dict[str, list] = {}
+    assert _hashes(("fig2_reliability",), trace=True, traces=traces) == {
+        "fig2_reliability": PR2_SMOKE_SHA256["fig2_reliability"]
+    }
+    assert any(entry["segments"] for entry in traces["fig2_reliability"])
+
+
 @pytest.mark.slow
 def test_all_fifteen_smoke_artifacts_match_pr2():
     assert _hashes(PR2_SMOKE_SHA256) == PR2_SMOKE_SHA256

@@ -151,3 +151,85 @@ class TestChaosAndServiceCli:
     def test_service_bench_invalid_size_is_structured_error(self, capsys):
         assert main(["service-bench", "--nodes", "1"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_service_bench_metrics_port_default_is_ephemeral(self):
+        assert build_parser().parse_args(["service-bench"]).metrics_port == 0
+
+
+TRACE_ARGS = [
+    "trace",
+    "--scenario",
+    "fig2_reliability",
+    "--n",
+    "40",
+    "--messages",
+    "2",
+    "--replicates",
+    "1",
+]
+
+
+class TestTraceCli:
+    """The dissemination-trace subcommand: summary tables, Chrome-trace
+    dumps and the same structured exit-2 error contract as chaos/bench."""
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scenario == "fig2_reliability"
+        assert args.tier == "smoke"
+        assert args.replicate == 0
+        assert args.message is None
+
+    def test_summary_table(self, capsys):
+        assert main(TRACE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "dissemination trace: fig2_reliability" in out
+        assert "deliveries" in out and "t_full (s)" in out
+        assert "segment(s)" in out and "dropped" in out
+
+    def test_message_dump_is_chrome_trace_json(self, capsys):
+        import json
+
+        assert main(TRACE_ARGS) == 0
+        table = capsys.readouterr().out
+        key = next(
+            line.split()[0] for line in table.splitlines() if "#" in line and "/" in line
+        )
+        assert main(TRACE_ARGS + ["--message", key]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["otherData"]["message"] == key
+        assert any(event["ph"] == "X" for event in trace["traceEvents"])
+
+    def test_message_dump_to_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trees" / "msg.json"
+        assert main(TRACE_ARGS) == 0
+        table = capsys.readouterr().out
+        key = next(
+            line.split()[0] for line in table.splitlines() if "#" in line and "/" in line
+        )
+        assert main(TRACE_ARGS + ["--message", key, "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["otherData"]["message"] == key
+
+    def test_unknown_message_id_is_structured_error(self, capsys):
+        assert main(TRACE_ARGS + ["--message", "zz:0#99"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown message id" in err
+        assert "--message" in err  # points back at the id list
+
+    def test_unknown_scenario_is_structured_error(self, capsys):
+        assert main(["trace", "--scenario", "fig99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_tier_is_structured_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--tier", "galactic"])
+
+    def test_bench_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            ["bench", "--trace", "--trace-out", "traces", "--scenario", "fig2_reliability"]
+        )
+        assert args.trace is True
+        assert str(args.trace_out) == "traces"

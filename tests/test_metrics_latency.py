@@ -1,0 +1,103 @@
+"""Tests for the live-runtime latency histogram (repro.metrics.latency).
+
+The hypothesis properties pin the subtle contract around the lazy-sort
+flag: querying a percentile sorts the sample buffer in place, and a
+``merge`` *after* that query must still yield exact nearest-rank
+quantiles over the concatenated samples (the flag must be invalidated,
+not trusted).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.latency import LatencyHistogram
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=0, max_size=60
+)
+
+
+def nearest_rank(values, p):
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestBasics:
+    def test_empty_reports_none(self):
+        histogram = LatencyHistogram()
+        assert histogram.p50() is None
+        assert histogram.p999() is None
+        assert histogram.mean() is None
+        assert histogram.max() is None
+
+    def test_negative_samples_clamp_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(-0.5)
+        assert histogram.p50() == 0.0
+
+    def test_p999_needs_a_thousand_samples_to_leave_the_max(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 1001):
+            histogram.record(i / 1000.0)
+        assert histogram.p999() == 1.0
+        histogram.record(2.0)
+        assert histogram.p999() == 1.0  # rank 1001 of 1001 is ceil(999.(...))
+
+    def test_summary_zero_fills_empty(self):
+        assert LatencyHistogram().summary() == {
+            "count": 0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p99": 0.0,
+            "p999": 0.0,
+            "max": 0.0,
+        }
+
+    def test_summary_matches_queries(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 101):
+            histogram.record(i / 100.0)
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["p50"] == histogram.p50() == 0.5
+        assert summary["p99"] == histogram.p99() == 0.99
+        assert summary["p999"] == histogram.p999() == 1.0
+        assert summary["max"] == 1.0
+
+
+class TestProperties:
+    @given(samples, st.floats(min_value=0.001, max_value=100.0))
+    def test_percentile_is_nearest_rank(self, values, p):
+        histogram = LatencyHistogram()
+        for value in values:
+            histogram.record(value)
+        assert histogram.percentile(p) == nearest_rank(values, p)
+
+    @given(samples, samples, st.floats(min_value=0.001, max_value=100.0))
+    def test_merge_after_percentile_query(self, first, second, p):
+        left = LatencyHistogram()
+        for value in first:
+            left.record(value)
+        left.percentile(50.0)  # force the in-place sort before merging
+        right = LatencyHistogram()
+        for value in second:
+            right.record(value)
+        right.percentile(99.0)
+        left.merge(right)
+        assert left.count == len(first) + len(second)
+        assert left.percentile(p) == nearest_rank(first + second, p)
+
+    @given(samples)
+    def test_quantiles_are_ordered(self, values):
+        histogram = LatencyHistogram()
+        for value in values:
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["p50"] <= summary["p99"] <= summary["p999"] <= summary["max"]

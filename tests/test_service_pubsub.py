@@ -234,3 +234,49 @@ class TestPubSubCluster:
             await cluster.stop()
 
         run(scenario())
+
+
+class TestClusterMetrics:
+    def test_registry_mirrors_service_and_transport_counters(self):
+        async def scenario():
+            from repro.obs.http import MetricsServer, scrape
+
+            cluster = LocalCluster(2, config=CONFIG)
+            await cluster.start()
+            service = PubSubCluster(cluster)
+            registry = service.metrics_registry()
+            assert service.metrics_registry() is registry  # cached
+            subscription = service.subscribe(1, "t", client="c1")
+            message_id = service.publish(0, "t", {"n": 1})
+            await cluster.wait_for_delivery(message_id, 2)
+            assert (await subscription.get(timeout=2.0)).payload == {"n": 1}
+
+            server = await MetricsServer(registry).start()
+            try:
+                body = await scrape("127.0.0.1", server.port)
+            finally:
+                await server.close()
+            service.detach()
+            await cluster.stop()
+            return body
+
+        body = run(scenario())
+        # One exposition covers the service counters, the breaker, the
+        # per-topic/per-client budgets and the transport epoch audits.
+        for family in (
+            "repro_service_published_total",
+            "repro_service_delivered_total",
+            "repro_service_topic_rate_limited_total",
+            "repro_service_client_rate_limited_total",
+            "repro_breaker_trips_total",
+            "repro_breaker_open",
+            "repro_transport_frames_total",
+            "repro_transport_epoch",
+        ):
+            assert f"# TYPE {family} " in body, family
+        published = [
+            line
+            for line in body.splitlines()
+            if line.startswith("repro_service_published_total{")
+        ]
+        assert sum(float(line.split()[-1]) for line in published) >= 1

@@ -53,6 +53,20 @@ class TestEventTrace:
         trace.clear()
         assert len(trace) == 0
 
+    def test_tiny_limits_stay_bounded(self):
+        # limit < 2 used to floor-divide the keep count to zero, and
+        # ``[-0:]`` keeps *everything* — the buffer grew without bound
+        # while claiming to be capped.
+        for limit in (1, 2, 3):
+            trace = EventTrace(limit=limit)
+            a = NodeId("a", 1)
+            for i in range(50):
+                trace.record(float(i), "send", a, a, Alpha(i))
+            assert len(trace) <= limit + 1
+            assert trace.dropped_records + len(trace) == 50
+            # newest record always survives
+            assert list(trace)[-1].time == 49.0
+
 
 class FakeProtocol:
     def __init__(self):
