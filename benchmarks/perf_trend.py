@@ -12,9 +12,14 @@ slow previous run used to produce both false "improvements" and missed
 regressions.  With one ``--previous`` the median degenerates to the old
 single-run comparison, so the interface is backwards compatible.
 
-Soft-fail by design: a regression warns (and is visible in the summary
-trend) but never turns the build red.  The exit code is always 0 unless
-the inputs are unusable.
+Soft-fail by design: a wall-clock regression warns (and is visible in the
+summary trend) but never turns the build red — hosted-runner wall-clock is
+noisy.  The one hard exception is ``--enforce-kernel-gates``: kernel
+microbench units embed same-machine *ratio* floors (``speedup_floor``
+next to a ``speedup_vs_*`` value, written by ``bench_kernel.py``), and
+runner load largely cancels out of a ratio, so a floor violation is a
+real kernel regression and fails the job with a ``::error`` annotation.
+Otherwise the exit code is 0 unless the inputs are unusable.
 
 **The committed history file.**  Artifact retention bounds how far back
 ``gh api`` can reach, so the baseline window dies with it.  The
@@ -350,6 +355,40 @@ def compare(
     return lines, warnings
 
 
+def kernel_gate_failures(current: dict[str, dict]) -> list[str]:
+    """Violated kernel-ratio floors in the current run's timing records.
+
+    A *gated ratio* is any unit carrying a numeric ``speedup_floor`` next
+    to one or more ``speedup_vs_*`` values — ``bench_kernel.py`` embeds
+    the floor in the record it writes, so this script never hardcodes a
+    threshold and new gated workloads need no change here.  Returns one
+    message per violated floor; empty when no kernel timings are present
+    (the enforcement flag is then a no-op, e.g. on runs that only swept
+    scenarios).
+    """
+    failures: list[str] = []
+    for scenario in sorted(current):
+        units = current[scenario].get("units")
+        if not isinstance(units, list):
+            continue
+        for unit in units:
+            if not isinstance(unit, dict):
+                continue
+            floor = unit.get("speedup_floor")
+            if not isinstance(floor, (int, float)):
+                continue
+            for key in sorted(unit):
+                value = unit[key]
+                if not key.startswith("speedup_vs_"):
+                    continue
+                if isinstance(value, (int, float)) and value < floor:
+                    failures.append(
+                        f"{scenario}/{unit.get('cell', '?')}: {key} = "
+                        f"{value:.2f}x, below the {floor:.2f}x floor"
+                    )
+    return failures
+
+
 def emit(lines: Iterable[str], summary_path: Optional[pathlib.Path]) -> None:
     text = "\n".join(lines) + "\n"
     print(text)
@@ -394,6 +433,11 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="warn when a scenario is this fraction slower "
                         "than the previous run (default 0.30)")
+    parser.add_argument("--enforce-kernel-gates", action="store_true",
+                        help="FAIL (exit 1) when a kernel microbench unit's "
+                        "speedup_vs_* ratio is below the speedup_floor "
+                        "embedded in its timing record; no-op when the "
+                        "current run carries no kernel timings")
     args = parser.parse_args(argv)
 
     current = load_timings_dir(args.current)
@@ -431,6 +475,12 @@ def main(argv=None) -> int:
         print(f"::warning title=perf regression::{warning}")
     if not history:
         print("perf-trend: no previous timings; baseline recorded.", file=sys.stderr)
+    if args.enforce_kernel_gates:
+        failures = kernel_gate_failures(current)
+        for failure in failures:
+            print(f"::error title=kernel gate::{failure}")
+        if failures:
+            return 1
     return 0
 
 

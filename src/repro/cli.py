@@ -300,6 +300,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(format_table(["scenario", "group", "tiers", "title"], rows,
                            title="registered scenarios"))
         return 0
+    if args.estimate is not None:
+        from .experiments.estimate import run_estimate
+
+        return run_estimate(args.estimate, args.scenario)
     if args.scenario:
         scenario_ids = []
         for scenario_id in args.scenario:
@@ -704,6 +708,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--list", action="store_true",
         help="list registered scenarios and exit",
+    )
+    p.add_argument(
+        "--estimate", type=pathlib.Path, default=None, metavar="DIR",
+        help="dry run: project each scenario's paper-tier wall-clock from "
+        "the smoke-tier TIMINGS_*.json under DIR and print a 6-hour "
+        "budget verdict; nothing is executed (combine with --scenario "
+        "to restrict the projection)",
     )
     p.set_defaults(func=cmd_bench)
 

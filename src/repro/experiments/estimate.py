@@ -1,0 +1,183 @@
+"""Paper-tier wall-clock projection from smoke-tier timing records.
+
+``repro bench --estimate DIR`` answers "can the paper tier finish inside
+the CI budget?" without running it: every smoke run already writes
+``TIMINGS_<scenario>.json`` (worker-seconds per scenario at smoke scale),
+and the registry knows both tiers' configurations, so each scenario's
+paper-tier cost can be projected from its measured smoke cost::
+
+    projected = smoke_worker_seconds
+                * (n_paper / n_smoke) ** EXPONENT      # system size
+                * (messages_paper / messages_smoke)    # measurement batch
+                * (replicates_paper / replicates_smoke)
+
+The size exponent is slightly superlinear (:data:`DEFAULT_EXPONENT`):
+event counts grow with n while per-broadcast hop counts and view sizes
+grow with log n, and the paper configuration also runs more stabilisation
+cycles.  This is a *planning* estimate, not a benchmark — it is expected
+to be wrong by tens of percent, and the verdict line says so; its job is
+to catch the order-of-magnitude case where a new scenario quietly pushes
+the nightly paper sweep past its budget
+(:data:`PAPER_BUDGET_HOURS`), *before* six hours of CI discover it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional
+
+from .registry import REGISTRY
+from .reporting import format_table
+
+#: The nightly paper-tier wall-clock budget the verdict is judged against.
+PAPER_BUDGET_HOURS = 6.0
+
+#: Size-scaling exponent of the projection (events per node grow ~log n;
+#: 1.1 matches the observed smoke->full scaling within ~20%).
+DEFAULT_EXPONENT = 1.1
+
+
+def load_timings(directory: pathlib.Path) -> dict[str, dict]:
+    """All ``TIMINGS_*.json`` records under ``directory``, by scenario id.
+
+    Unreadable or schema-less files are skipped — the estimate works off
+    whatever subset of a timings artifact is usable.
+    """
+    records: dict[str, dict] = {}
+    for path in sorted(directory.glob("TIMINGS_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        scenario = data.get("scenario")
+        if scenario and str(data.get("schema", "")).startswith("repro-timings/"):
+            records[str(scenario)] = data
+    return records
+
+
+def estimate_paper_tier(
+    timings: dict[str, dict],
+    *,
+    exponent: float = DEFAULT_EXPONENT,
+    budget_hours: float = PAPER_BUDGET_HOURS,
+) -> dict:
+    """Project every measured scenario's paper-tier worker-seconds.
+
+    Scenarios without a registry entry, a paper tier, or usable smoke
+    worker-seconds (e.g. the kernel microbench records, which carry no
+    wall total) are listed under ``skipped`` rather than guessed at.
+    """
+    rows: list[dict] = []
+    skipped: list[str] = []
+    total = 0.0
+    for scenario_id, record in sorted(timings.items()):
+        spec = REGISTRY.get(scenario_id)
+        seconds = (record.get("totals") or {}).get("worker_seconds")
+        if (
+            spec is None
+            or "paper" not in spec.tiers
+            or "smoke" not in spec.tiers
+            or not isinstance(seconds, (int, float))
+            or seconds <= 0
+        ):
+            skipped.append(scenario_id)
+            continue
+        smoke, paper = spec.tiers["smoke"], spec.tiers["paper"]
+        factor = (
+            (paper.n / smoke.n) ** exponent
+            * (paper.messages / smoke.messages)
+            * (paper.replicates / smoke.replicates)
+        )
+        projected = float(seconds) * factor
+        total += projected
+        rows.append(
+            {
+                "scenario": scenario_id,
+                "smoke_seconds": float(seconds),
+                "factor": factor,
+                "paper_seconds": projected,
+            }
+        )
+    return {
+        "rows": rows,
+        "skipped": skipped,
+        "total_seconds": total,
+        "budget_hours": budget_hours,
+        "within_budget": total <= budget_hours * 3600.0,
+        "exponent": exponent,
+    }
+
+
+def render_estimate(estimate: dict) -> str:
+    """The plain-text report (CI step logs and job summaries)."""
+    rows = [
+        [
+            row["scenario"],
+            f"{row['smoke_seconds']:.2f}s",
+            f"x{row['factor']:,.0f}",
+            f"{row['paper_seconds'] / 3600.0:.2f}h",
+        ]
+        for row in estimate["rows"]
+    ]
+    blocks = [
+        format_table(
+            ["scenario", "smoke", "scale factor", "projected paper"],
+            rows,
+            title=(
+                f"Paper-tier projection from smoke timings "
+                f"(size exponent {estimate['exponent']:.1f})"
+            ),
+        )
+    ]
+    total_hours = estimate["total_seconds"] / 3600.0
+    budget = estimate["budget_hours"]
+    verdict = (
+        f"WITHIN the {budget:.0f}h budget"
+        if estimate["within_budget"]
+        else f"EXCEEDS the {budget:.0f}h budget"
+    )
+    blocks.append(
+        f"\nprojected paper-tier total: {total_hours:.2f} worker-hours — "
+        f"{verdict} (planning estimate; expect tens-of-percent error)"
+    )
+    if estimate["skipped"]:
+        blocks.append(
+            "not projected (no paper tier or no usable smoke timing): "
+            + ", ".join(estimate["skipped"])
+        )
+    return "\n".join(blocks)
+
+
+def run_estimate(directory: pathlib.Path, scenario_ids: Optional[list[str]] = None) -> int:
+    """The ``repro bench --estimate`` entry point; returns an exit code.
+
+    Informational by design: an over-budget projection prints a loud
+    verdict (and a ``::warning`` annotation for CI) but exits 0 — the
+    estimate is too crude to gate a merge on.
+    """
+    timings = load_timings(directory)
+    if scenario_ids:
+        timings = {k: v for k, v in timings.items() if k in set(scenario_ids)}
+    if not timings:
+        print(f"no usable TIMINGS_*.json under {directory}")
+        return 2
+    estimate = estimate_paper_tier(timings)
+    print(render_estimate(estimate))
+    if not estimate["within_budget"]:
+        print(
+            f"::warning title=paper-tier budget::projected "
+            f"{estimate['total_seconds'] / 3600.0:.2f} worker-hours exceeds "
+            f"the {estimate['budget_hours']:.0f}h budget"
+        )
+    return 0
+
+
+__all__ = [
+    "DEFAULT_EXPONENT",
+    "PAPER_BUDGET_HOURS",
+    "estimate_paper_tier",
+    "load_timings",
+    "render_estimate",
+    "run_estimate",
+]

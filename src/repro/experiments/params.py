@@ -27,6 +27,8 @@ from ..gossip.reliable import ReliableConfig
 from ..protocols.cyclon import CyclonConfig
 from ..protocols.registry import stack_names
 from ..protocols.scamp import ScampConfig
+from ..protocols.xbot import XBotConfig
+from ..sim.latency import LATENCY_MODEL_NAMES
 
 #: Protocol names accepted by the scenario builder, derived from the
 #: declarative stack registry (:mod:`repro.protocols.registry`) so the
@@ -61,7 +63,17 @@ class ExperimentParams:
     #: setting).  Carried here so the stack registry can build plumtree
     #: stacks from one parameter object in both substrates.
     plumtree: Optional[PlumtreeConfig] = None
+    #: X-BOT topology-optimisation tuning (swap rounds, unbiased slots)
+    #: for the ``hyparview-xbot`` stack.
+    xbot: XBotConfig = field(default_factory=XBotConfig)
     latency_seconds: float = 0.01
+    #: Which latency world model prices the links (``LATENCY_MODEL_NAMES``):
+    #: ``"constant"`` is the paper's abstract model and the historical
+    #: default (every pre-existing artifact is pinned with it); ``"zoned"``
+    #: is the planetary RTT zone matrix the ``topo_*`` scenarios run on.
+    latency_model: str = "constant"
+    #: Zone count for the ``"zoned"`` model; ignored by ``"constant"``.
+    latency_zones: int = 8
     #: Engine timestamp quantisation (seconds); ``None`` keeps exact float
     #: bucketing.  Set by scenarios whose latency is continuous (WAN-jitter
     #: fault plans) so deliveries share buckets instead of degenerating to
@@ -90,6 +102,13 @@ class ExperimentParams:
             raise ConfigurationError(f"latency must be >= 0: {self.latency_seconds}")
         if self.engine_tick is not None and self.engine_tick <= 0:
             raise ConfigurationError(f"engine tick must be positive: {self.engine_tick}")
+        if self.latency_model not in LATENCY_MODEL_NAMES:
+            raise ConfigurationError(
+                f"unknown latency model {self.latency_model!r}; "
+                f"expected one of {LATENCY_MODEL_NAMES}"
+            )
+        if self.latency_zones < 1:
+            raise ConfigurationError(f"zone count must be >= 1: {self.latency_zones}")
         if self.kernel not in KERNEL_NAMES:
             raise ConfigurationError(
                 f"unknown kernel {self.kernel!r}; expected one of {KERNEL_NAMES}"

@@ -1338,3 +1338,4 @@ register(
 # ----------------------------------------------------------------------
 from ..faults import scenarios as _fault_scenarios  # noqa: E402,F401  (registration side effect)
 from ..faults import byzantine as _byz_scenarios  # noqa: E402,F401  (registration side effect)
+from . import topology as _topo_scenarios  # noqa: E402,F401  (registration side effect)

@@ -29,7 +29,7 @@ from ..obs.context import current_collector
 from ..protocols.base import PeerSamplingService
 from ..protocols.registry import get_stack
 from ..sim.engine import Engine
-from ..sim.latency import ConstantLatency
+from ..sim.latency import build_latency_model
 from ..sim.network import Network
 from ..sim.node import SimNode
 from ..sim.sharded import ShardedEngine
@@ -67,10 +67,13 @@ class Scenario:
         self.params = params if params is not None else ExperimentParams()
         self.seeds = SeedSequence(self.params.seed)
         self.node_ids: list[NodeId] = simulated_node_ids(self.params.n)
+        # The latency world model prices every link; ``params.latency_model``
+        # selects it (constant by default — the historical, pinned setting).
+        self.latency = build_latency_model(self.params)
         self.engine = self._build_kernel()
         self.network = Network(
             self.engine,
-            latency=ConstantLatency(self.params.latency_seconds),
+            latency=self.latency,
             seeds=self.seeds,
             loss_rate=loss_rate,
         )
@@ -102,10 +105,13 @@ class Scenario:
 
         ``"single"`` is the bucket-queue :class:`Engine`; ``"sharded"``
         partitions the node space into contiguous blocks across
-        ``params.kernel_shards`` shard queues with the minimum cross-shard
-        link latency as the conservative lookahead window —
-        :class:`ConstantLatency` draws no RNG, so that bound is static and
-        exact.  Both kernels fire the same events in the same order.
+        ``params.kernel_shards`` shard queues with the latency model's
+        ``min_delay()`` — its greatest lower bound on any link delay — as
+        the conservative lookahead window.  The bound is a static property
+        of the model (no RNG), so it is exact for ConstantLatency and
+        safely conservative for jittered models; quantised ticks round
+        timestamps *up* and can never shrink a delay below it.  Both
+        kernels fire the same events in the same order.
         """
         params = self.params
         if params.kernel == "single":
@@ -113,7 +119,7 @@ class Scenario:
         engine = ShardedEngine(
             params.kernel_shards,
             tick=params.engine_tick,
-            lookahead=params.latency_seconds,
+            lookahead=self.latency.min_delay(),
         )
         engine.partition(self.node_ids)
         return engine

@@ -1,0 +1,389 @@
+"""The ``topo_*`` scenario family: topology-aware overlay optimisation.
+
+Both scenarios run on the planetary RTT world model
+(:class:`~repro.sim.latency.ZonedLatency`, ``latency_model="zoned"``) and
+compare ``hyparview-xbot`` — HyParView plus X-BOT optimisation swaps
+(:mod:`repro.protocols.xbot`) — against plain ``hyparview``:
+
+* ``topo_convergence`` — the link-cost distribution of active-view edges
+  *before, during and after* optimisation (sampled along stabilisation),
+  then the existing WAN-jitter fault plan on the optimised overlay:
+  topology bias must not cost reliability under degraded links;
+* ``topo_latency`` — time-to-full-delivery and per-hop latency of a paced
+  broadcast stream over the optimised vs the unoptimised overlay, plus
+  the churn-trace fault plan as the reliability envelope: the unbiased
+  slots must keep healing intact while the biased slots buy speed.
+
+Link costs are priced by the world model's jitter-free ``base_delay`` (the
+same pure function the X-BOT oracle reads), so every reported number is
+deterministic and the artifacts pin byte-for-byte like every other
+scenario.  Both run the engine in quantised-tick mode: the zone matrix
+plus per-message jitter is exactly the continuous-timestamp workload the
+tick bucketing exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from ..faults.measure import measure_fault_plan
+from ..faults.scenarios import _churn_trace_factory, _phase, _sanity, _wan_factory
+from .params import ExperimentParams
+from .registry import (
+    CellKey,
+    RunContext,
+    ScenarioSpec,
+    TierConfig,
+    _cell_hooks,
+    _tiers,
+    register,
+)
+from .reporting import format_phases, json_safe, sparkline
+from .scenario import Scenario
+
+#: The comparison the family makes: the optimiser and its baseline.
+TOPO_PROTOCOLS = ("hyparview-xbot", "hyparview")
+
+
+def _protocols(ctx: RunContext) -> tuple[str, ...]:
+    return tuple(ctx.option("protocols", TOPO_PROTOCOLS))  # type: ignore[arg-type]
+
+
+def _topo_params(ctx: RunContext) -> ExperimentParams:
+    """Tier params moved onto the zoned RTT world model."""
+    params = ctx.params()
+    params = replace(
+        params,
+        latency_model="zoned",
+        latency_zones=int(ctx.option("zones", 8)),  # type: ignore[arg-type]
+    )
+    tick = ctx.option("engine_tick", None)
+    if tick is not None:
+        params = replace(params, engine_tick=float(tick))  # type: ignore[arg-type]
+    return params
+
+
+def _settle(ctx: RunContext) -> float:
+    """Post-stream settle time for fault measurements.  The default ten
+    network delays assume the constant 0.01 s model; cross-continent links
+    here run ~0.15 s per hop, so the tail needs real room."""
+    return float(ctx.option("settle", 2.0))  # type: ignore[arg-type]
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (no interpolation —
+    keeps artifact floats exactly equal to observed values)."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def _edge_cost_stats(scenario: Scenario) -> dict:
+    """Distribution of ``base_delay`` over the distinct undirected
+    active-view edges between live nodes."""
+    model = scenario.latency
+    seen: set[tuple] = set()
+    costs: list[float] = []
+    alive = set(scenario.alive_ids())
+    for node_id in scenario.alive_ids():
+        for peer in scenario.membership(node_id).out_neighbors():
+            if peer not in alive:
+                continue
+            key = (
+                (node_id, peer)
+                if (node_id.host, node_id.port) <= (peer.host, peer.port)
+                else (peer, node_id)
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            costs.append(model.base_delay(key[0], key[1]))
+    costs.sort()
+    if not costs:
+        return {"edges": 0, "mean": 0.0, "median": 0.0, "p90": 0.0, "max": 0.0}
+    return {
+        "edges": len(costs),
+        "mean": sum(costs) / len(costs),
+        "median": _quantile(costs, 0.5),
+        "p90": _quantile(costs, 0.9),
+        "max": costs[-1],
+    }
+
+
+def _optimizer_stats(scenario: Scenario) -> dict:
+    """Summed X-BOT counters across live nodes (zeros for plain stacks)."""
+    totals = {
+        "rounds_initiated": 0,
+        "swaps_completed": 0,
+        "swaps_rejected": 0,
+        "swap_timeouts": 0,
+        "optimization_removals": 0,
+        "unbiased_protected": 0,
+        "edges_declined": 0,
+    }
+    for node_id in scenario.alive_ids():
+        stats = getattr(scenario.membership(node_id), "xbot_stats", None)
+        if stats is None:
+            continue
+        for field in totals:
+            totals[field] += getattr(stats, field)
+    return totals
+
+
+# ----------------------------------------------------------------------
+# topo_convergence
+# ----------------------------------------------------------------------
+def _run_convergence_cell(ctx: RunContext, key: CellKey) -> dict:
+    protocol = str(key[0])
+    params = _topo_params(ctx)
+    samples = max(1, int(ctx.option("samples", 3)))  # type: ignore[arg-type]
+    # Built by hand (not ctx.stabilized): the point is the link-cost
+    # trajectory *across* stabilisation, which a cached stabilised base
+    # has already fast-forwarded past.
+    scenario = Scenario(protocol, params)
+    scenario.build_overlay()
+    trajectory = [_edge_cost_stats(scenario)]
+    remaining = params.stabilization_cycles
+    chunk = max(1, params.stabilization_cycles // samples)
+    while remaining > 0:
+        step = min(chunk, remaining)
+        scenario.run_cycles(step)
+        remaining -= step
+        trajectory.append(_edge_cost_stats(scenario))
+    plan, phases, end = _wan_factory(ctx)
+    interval = end / (ctx.config.messages - 1) if ctx.config.messages > 1 else None
+    result = measure_fault_plan(
+        scenario, plan,
+        messages=ctx.config.messages, interval=interval,
+        settle=_settle(ctx), phases=phases,
+    )
+    result["link_cost"] = {
+        "trajectory": trajectory,
+        "final": _edge_cost_stats(scenario),
+    }
+    result["optimizer"] = _optimizer_stats(scenario)
+    return json_safe(result)  # type: ignore[return-value]
+
+
+def _check_topo_convergence(result: dict, n: int) -> None:
+    _sanity(result)
+    xb = result.get("hyparview-xbot")
+    hv = result.get("hyparview")
+    if xb:
+        trajectory = xb["link_cost"]["trajectory"]
+        # Optimisation is real and strictly decreases the summed edge cost.
+        assert xb["optimizer"]["swaps_completed"] > 0
+        assert trajectory[-1]["mean"] < trajectory[0]["mean"]
+    if xb and hv:
+        # ...and beats the cost-blind baseline on the same world model.
+        assert xb["link_cost"]["final"]["mean"] < hv["link_cost"]["final"]["mean"]
+        # Topology bias must not cost reliability under the WAN window.
+        assert xb["average"] >= hv["average"] - 0.05
+
+
+def _render_topo_convergence(result: dict, n: int) -> str:
+    blocks = [f"Topology — link-cost convergence under optimisation (n={n})"]
+    for protocol, cell in result.items():
+        cost = cell["link_cost"]
+        means = [point["mean"] for point in cost["trajectory"]]
+        optimizer = cell["optimizer"]
+        blocks.append("")
+        blocks.append(
+            format_phases(cell["phases"], title=f"{protocol} — plan: "
+                          f"{'; '.join(cell['plan']) or '(none)'}")
+        )
+        blocks.append(
+            f"{protocol:15s} edge-cost mean {means[0]:.4f} -> {means[-1]:.4f}  "
+            f"{sparkline(means, high=max(means))}  "
+            f"(median {cost['final']['median']:.4f}, "
+            f"p90 {cost['final']['p90']:.4f})"
+        )
+        blocks.append(
+            f"  swaps: completed={optimizer['swaps_completed']} "
+            f"rejected={optimizer['swaps_rejected']} "
+            f"timeouts={optimizer['swap_timeouts']} "
+            f"unbiased-protected={optimizer['unbiased_protected']}  "
+            f"wan reliability avg={cell['average']:.3f}"
+        )
+    return "\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# topo_latency
+# ----------------------------------------------------------------------
+def _broadcast_latency_stats(summaries) -> dict:
+    pairs = [
+        (summary.last_delivery_at - summary.sent_at, summary.max_hops)
+        for summary in summaries
+        if summary.delivered
+    ]
+    t_full = sorted(t for t, _ in pairs)
+    per_hop = sorted(t / hops for t, hops in pairs if hops > 0)
+    hops = sorted(hops for _, hops in pairs)
+    reliability = [summary.reliability for summary in summaries]
+    return {
+        "messages": len(summaries),
+        "atomic": sum(1 for r in reliability if r >= 1.0),
+        "reliability_mean": (
+            sum(reliability) / len(reliability) if reliability else 0.0
+        ),
+        "t_full": {
+            "mean": sum(t_full) / len(t_full) if t_full else 0.0,
+            "median": _quantile(t_full, 0.5),
+            "p90": _quantile(t_full, 0.9),
+            "max": t_full[-1] if t_full else 0.0,
+        },
+        "per_hop_mean": sum(per_hop) / len(per_hop) if per_hop else 0.0,
+        "hops_median": _quantile([float(h) for h in hops], 0.5),
+        "hops_max": hops[-1] if hops else 0,
+    }
+
+
+def _run_latency_cell(ctx: RunContext, key: CellKey) -> dict:
+    protocol = str(key[0])
+    params = _topo_params(ctx)
+    # Clean-phase measurement: the broadcast stream over the stabilised
+    # (optimised, for X-BOT) overlay with no faults.
+    scenario = ctx.stabilized(protocol, params)
+    link_cost = _edge_cost_stats(scenario)
+    optimizer = _optimizer_stats(scenario)
+    summaries = scenario.send_paced_broadcasts(ctx.config.messages)
+    latency = _broadcast_latency_stats(summaries)
+    # Reliability envelope: the same churn-trace plan the faults family
+    # replays, on a fresh checkout of the same stabilised base.  The
+    # unbiased slots must keep X-BOT's healing inside HyParView's envelope.
+    churn_scenario = ctx.stabilized(protocol, params)
+    plan, phases, end = _churn_trace_factory(ctx)
+    interval = end / (ctx.config.messages - 1) if ctx.config.messages > 1 else None
+    churn = measure_fault_plan(
+        churn_scenario, plan,
+        messages=ctx.config.messages, interval=interval,
+        settle=_settle(ctx), phases=phases,
+    )
+    return json_safe(  # type: ignore[return-value]
+        {
+            "protocol": protocol,
+            "n": params.n,
+            "link_cost": link_cost,
+            "optimizer": optimizer,
+            "latency": latency,
+            "churn": churn,
+        }
+    )
+
+
+def _check_topo_latency(result: dict, n: int) -> None:
+    for cell in result.values():
+        latency = cell["latency"]
+        assert latency["messages"] >= 1
+        assert latency["t_full"]["median"] >= 0.0
+        churn = cell["churn"]
+        assert len(churn["series"]) == churn["messages"]
+        for value in churn["series"]:
+            assert 0.0 <= value <= 1.0
+    xb = result.get("hyparview-xbot")
+    hv = result.get("hyparview")
+    if xb and hv:
+        # The headline claim, asserted at every tier: X-BOT strictly
+        # lowers both median time-to-full-delivery and active-view link
+        # cost on the zoned world model...
+        assert xb["latency"]["t_full"]["median"] < hv["latency"]["t_full"]["median"]
+        assert xb["link_cost"]["median"] < hv["link_cost"]["median"]
+        assert xb["link_cost"]["mean"] < hv["link_cost"]["mean"]
+        # ...while the unbiased slots keep churn reliability within the
+        # plain-HyParView envelope.
+        assert xb["churn"]["average"] >= hv["churn"]["average"] - 0.05
+        assert xb["optimizer"]["swaps_completed"] > 0
+
+
+def _render_topo_latency(result: dict, n: int) -> str:
+    blocks = [f"Topology — broadcast latency, X-BOT vs HyParView (n={n})"]
+    for protocol, cell in result.items():
+        latency = cell["latency"]
+        t_full = latency["t_full"]
+        churn = cell["churn"]
+        blocks.append("")
+        blocks.append(
+            f"{protocol:15s} t-full median={t_full['median']:.3f}s "
+            f"p90={t_full['p90']:.3f}s  per-hop={latency['per_hop_mean']*1000:.1f}ms  "
+            f"hops<= {latency['hops_max']}  edge-cost mean={cell['link_cost']['mean']:.4f}"
+        )
+        blocks.append(
+            f"  clean reliability={latency['reliability_mean']:.3f} "
+            f"({latency['atomic']}/{latency['messages']} atomic)  "
+            f"churn avg={churn['average']:.3f}  {sparkline(churn['series'])}"
+        )
+        late = _phase(churn, "late")
+        if late["messages"]:
+            blocks.append(f"  churn late-phase avg={late['average']:.3f}")
+    return "\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def _register_topo_scenario(
+    *,
+    scenario_id: str,
+    title: str,
+    description: str,
+    run_cell,
+    render,
+    check,
+    smoke: TierConfig,
+    paper: TierConfig,
+) -> None:
+    def cells(ctx: RunContext) -> tuple[CellKey, ...]:
+        return tuple((protocol,) for protocol in _protocols(ctx))
+
+    def merge(ctx: RunContext, cell_results: Mapping[CellKey, dict]) -> dict:
+        return {protocol: cell_results[(protocol,)] for protocol in _protocols(ctx)}
+
+    register(
+        ScenarioSpec(
+            id=scenario_id,
+            group="topology",
+            title=title,
+            description=description,
+            tiers=_tiers(smoke=smoke, paper=paper),
+            render=render,
+            check=check,
+            **_cell_hooks(cells, run_cell, merge),
+        )
+    )
+
+
+_register_topo_scenario(
+    scenario_id="topo_convergence",
+    title="Topology — link-cost convergence under optimisation",
+    description="Link-cost distribution of active-view edges before/during/"
+    "after X-BOT optimisation on the zoned RTT world model, then the WAN-"
+    "jitter fault window on the optimised overlay.",
+    run_cell=_run_convergence_cell,
+    render=_render_topo_convergence,
+    check=_check_topo_convergence,
+    smoke=TierConfig(n=64, messages=12, stabilization_cycles=15,
+                     extra={"engine_tick": 0.002}),
+    paper=TierConfig(n=10_000, messages=100, paper_params=True,
+                     extra={"engine_tick": 0.002}),
+)
+
+_register_topo_scenario(
+    scenario_id="topo_latency",
+    title="Topology — broadcast latency, X-BOT vs HyParView",
+    description="Time-to-full-delivery and per-hop latency of a paced "
+    "broadcast stream, X-BOT vs plain HyParView on the zoned RTT world "
+    "model, with the churn-trace plan as the reliability envelope.",
+    run_cell=_run_latency_cell,
+    render=_render_topo_latency,
+    check=_check_topo_latency,
+    smoke=TierConfig(n=64, messages=12, stabilization_cycles=15,
+                     extra={"engine_tick": 0.002}),
+    paper=TierConfig(n=10_000, messages=100, paper_params=True,
+                     extra={"engine_tick": 0.002}),
+)
+
+
+__all__ = ["TOPO_PROTOCOLS"]

@@ -43,10 +43,12 @@ from ..gossip.eager import EagerGossip
 from ..gossip.flood import FloodBroadcast
 from ..gossip.plumtree import Plumtree
 from ..gossip.reliable import ReliableGossip
+from ..sim.latency import build_latency_model
 from .base import PeerSamplingService
 from .cyclon import Cyclon
 from .cyclon_acked import CyclonAcked
 from .scamp import Scamp
+from .xbot import LatencyCostOracle, XBot
 
 #: ``(host, params) -> membership`` — the peer-sampling half of a stack.
 MembershipFactory = Callable[[Host, Any], PeerSamplingService]
@@ -238,6 +240,25 @@ register_stack(StackSpec(
         on_deliver=on_deliver,
     ),
     needs_roster=True,
+))
+
+
+# X-BOT: HyParView plus topology-aware optimisation swaps, with the link
+# cost oracle reading the jitter-free base of whatever latency world model
+# the parameters select.  Parameter bags without a ``latency_model`` field
+# (the live runtime's) get the constant model, whose uniform costs make
+# the optimiser a no-op — safe degradation to plain HyParView.
+register_stack(StackSpec(
+    name="hyparview-xbot",
+    membership=lambda host, params: XBot(
+        host, params.hyparview,
+        oracle=LatencyCostOracle(build_latency_model(params)),
+        xbot=getattr(params, "xbot", None),
+    ),
+    broadcast=lambda host, membership, params, tracker, on_deliver: FloodBroadcast(
+        host, membership, tracker, on_deliver=on_deliver
+    ),
+    runtime=True,
 ))
 
 

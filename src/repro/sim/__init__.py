@@ -2,7 +2,14 @@
 
 from .clock import SimClock
 from .engine import Engine, EventHandle, PeriodicTask
-from .latency import ConstantLatency, CoordinateLatency, LatencyModel, UniformLatency
+from .latency import (
+    ConstantLatency,
+    CoordinateLatency,
+    LatencyModel,
+    UniformLatency,
+    ZonedLatency,
+    build_latency_model,
+)
 from .network import ByzantineBehavior, Network, NetworkStats
 from .node import SimNode
 from .transport import SimTransport
@@ -24,4 +31,6 @@ __all__ = [
     "SimTransport",
     "TraceRecord",
     "UniformLatency",
+    "ZonedLatency",
+    "build_latency_model",
 ]

@@ -19,6 +19,7 @@ from .gossip.tracker import BroadcastTracker
 from .protocols.cyclon import Cyclon, CyclonConfig
 from .protocols.cyclon_acked import CyclonAcked
 from .protocols.scamp import Scamp, ScampConfig
+from .protocols.xbot import CostOracle, XBot, XBotConfig
 from .sim.engine import Engine
 from .sim.network import Network
 from .sim.node import SimNode
@@ -53,6 +54,22 @@ class World:
 
     def hyparview_many(self, count: int, config: HyParViewConfig | None = None):
         return [self.hyparview(config=config) for _ in range(count)]
+
+    def xbot(
+        self,
+        name: str | None = None,
+        config: HyParViewConfig | None = None,
+        *,
+        oracle: CostOracle | None = None,
+        xbot: XBotConfig | None = None,
+        cls: type[XBot] = XBot,
+    ):
+        node = self.new_node(name)
+        protocol = cls(
+            node.host("membership"), config or HyParViewConfig(), oracle=oracle, xbot=xbot
+        )
+        node.wire("membership", protocol)
+        return node, protocol
 
     def cyclon(self, name: str | None = None, config: CyclonConfig | None = None):
         node = self.new_node(name)

@@ -74,6 +74,16 @@ PR7_BYZ_SMOKE_SHA256 = {
     "byz_equivocation": "1299710d53979bd1de5f94a86d3cf1c120780fc60491fd896f8c0a78d3bc3184",
 }
 
+#: sha256 of the topology family's smoke artifacts at root seed 42,
+#: recorded when X-BOT and the zoned RTT world model landed (PR 10).
+#: They pin the zone assignment and pair-base RTT draws, the oracle's
+#: jitter-free link pricing, the 4-node swap state machine's message
+#: order and the quantised-tick engine under continuous per-hop jitter.
+PR10_TOPO_SMOKE_SHA256 = {
+    "topo_convergence": "94f6bf53ef5c973f8838e8f76d8e592fe7a3273b0e26dca71d09efb6d2f48e78",
+    "topo_latency": "4dfbc2c6fed484bb442dd4906e9c7413112fbfdeb76dc855e3d5f29b793d6b37",
+}
+
 #: Scenarios cheap enough to pin on every test run (seconds, not minutes).
 FAST_SUBSET = ("fig1_hyparview_reference", "fig1c_failure50", "ablation_flood_resend")
 
@@ -85,6 +95,9 @@ FAST_RELIABLE_SUBSET = ("reliable_loss",)
 
 #: The cheap Byzantine pin that runs in the regular suite (two cells).
 FAST_BYZ_SUBSET = ("byz_equivocation",)
+
+#: The cheap topology pin that runs in the regular suite (two cells).
+FAST_TOPO_SUBSET = ("topo_convergence",)
 
 #: The sharded-kernel pin (PR 8): fig2 under ``--kernel sharded --shards 2``
 #: must hash to the *same* PR-2 value as the single-shard run — the sharded
@@ -123,6 +136,12 @@ def test_fast_byz_subset_matches_pr7_artifacts():
     }
 
 
+def test_fast_topo_subset_matches_pr10_artifacts():
+    assert _hashes(FAST_TOPO_SUBSET) == {
+        k: PR10_TOPO_SMOKE_SHA256[k] for k in FAST_TOPO_SUBSET
+    }
+
+
 def test_sharded_kernel_fig2_matches_single_shard_pin():
     assert _hashes((SHARDED_PIN_SCENARIO,), kernel="sharded", shards=2) == {
         SHARDED_PIN_SCENARIO: PR2_SMOKE_SHA256[SHARDED_PIN_SCENARIO]
@@ -158,3 +177,8 @@ def test_all_reliable_smoke_artifacts_match_pr5():
 @pytest.mark.slow
 def test_all_byz_smoke_artifacts_match_pr7():
     assert _hashes(PR7_BYZ_SMOKE_SHA256) == PR7_BYZ_SMOKE_SHA256
+
+
+@pytest.mark.slow
+def test_all_topo_smoke_artifacts_match_pr10():
+    assert _hashes(PR10_TOPO_SMOKE_SHA256) == PR10_TOPO_SMOKE_SHA256

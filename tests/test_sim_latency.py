@@ -1,12 +1,20 @@
 """Tests for latency models."""
 
+import pickle
 import random
+from types import SimpleNamespace
 
 import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import NodeId
-from repro.sim.latency import ConstantLatency, CoordinateLatency, UniformLatency
+from repro.sim.latency import (
+    ConstantLatency,
+    CoordinateLatency,
+    UniformLatency,
+    ZonedLatency,
+    build_latency_model,
+)
 
 A = NodeId("a", 1)
 B = NodeId("b", 2)
@@ -73,3 +81,78 @@ class TestCoordinateLatency:
             CoordinateLatency(base=-1.0)
         with pytest.raises(ConfigurationError):
             CoordinateLatency(per_unit=-1.0)
+
+
+class TestZonedLatency:
+    def test_base_delay_symmetric_and_stable_across_instances(self):
+        a, b = NodeId("n3", 9000), NodeId("n11", 9000)
+        assert ZonedLatency().base_delay(a, b) == ZonedLatency().base_delay(b, a)
+
+    def test_zone_assignment_is_a_pure_function_of_identity(self):
+        node = NodeId("n42", 9000)
+        assert ZonedLatency().zone_of(node) == ZonedLatency().zone_of(node)
+        assert 0 <= ZonedLatency(zones=4).zone_of(node) < 4
+
+    def test_intra_zone_cheaper_than_inter_zone_band(self):
+        model = ZonedLatency(zones=4)
+        nodes = [NodeId(f"n{i}", 9000) for i in range(64)]
+        intra_high, inter_low = model.intra[1], model.inter[0]
+        assert intra_high < inter_low  # the default bands must not overlap
+        for a in nodes[:8]:
+            for b in nodes:
+                if a == b:
+                    continue
+                base = model.base_delay(a, b)
+                if model.zone_of(a) == model.zone_of(b):
+                    assert model.intra[0] <= base <= intra_high
+                else:
+                    assert inter_low <= base <= model.inter[1]
+
+    def test_jitter_stays_within_fraction_and_above_min_delay(self):
+        model = ZonedLatency()
+        rng = random.Random(3)
+        a, b = NodeId("n1", 9000), NodeId("n2", 9000)
+        base = model.base_delay(a, b)
+        for _ in range(200):
+            delay = model.delay(a, b, rng)
+            assert base * (1.0 - model.jitter) <= delay <= base * (1.0 + model.jitter)
+            assert delay >= model.min_delay()
+
+    def test_zero_jitter_reproduces_base_delay(self):
+        model = ZonedLatency(jitter=0.0)
+        rng = random.Random(0)
+        a, b = NodeId("n1", 9000), NodeId("n2", 9000)
+        assert model.delay(a, b, rng) == model.base_delay(a, b)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZonedLatency(zones=0)
+        with pytest.raises(ConfigurationError):
+            ZonedLatency(intra=(0.01, 0.005))
+        with pytest.raises(ConfigurationError):
+            ZonedLatency(jitter=1.0)
+
+    def test_model_pickles_with_caches(self):
+        model = ZonedLatency()
+        a, b = NodeId("n1", 9000), NodeId("n2", 9000)
+        expected = model.base_delay(a, b)  # populate the caches first
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone.base_delay(a, b) == expected
+
+
+class TestBuildLatencyModel:
+    def test_default_is_the_historical_constant_model(self):
+        model = build_latency_model(SimpleNamespace(latency_seconds=0.01))
+        assert isinstance(model, ConstantLatency)
+        assert model.delay(A, B, random.Random(0)) == 0.01
+
+    def test_zoned_selector_reads_zone_count(self):
+        model = build_latency_model(
+            SimpleNamespace(latency_model="zoned", latency_zones=5)
+        )
+        assert isinstance(model, ZonedLatency)
+        assert model.zones == 5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_latency_model(SimpleNamespace(latency_model="wormhole"))
